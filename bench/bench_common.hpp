@@ -1,0 +1,32 @@
+#pragma once
+
+// Shared plumbing for the figure benches: every bench prints its series as
+// an ASCII table on stdout and drops the full-resolution data as CSV into
+// the working directory so the figures can be replotted.
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace billcap::bench {
+
+/// Writes `csv` as "<bench_name>.csv" in the current working directory and
+/// reports the path on stdout.
+inline void save_csv(const util::Csv& csv, const std::string& bench_name) {
+  const std::string path = bench_name + ".csv";
+  csv.save(path);
+  std::printf("[data] %s (%zu rows)\n",
+              std::filesystem::absolute(path).string().c_str(),
+              csv.num_rows());
+}
+
+/// Prints a section header in a consistent style.
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace billcap::bench

@@ -1,0 +1,51 @@
+// Figure 3 — Hourly electricity cost of Cost Capping vs Min-Only (Avg) and
+// Min-Only (Low) over the evaluation month (Policy 1, no budget stress:
+// this isolates step 1, cost minimization).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+#include "util/calendar.hpp"
+
+int main() {
+  using namespace billcap;
+  using core::Strategy;
+
+  core::SimulationConfig config;
+  config.enforce_budget = false;  // step 1 only, like the paper's Fig. 3
+  const core::Simulator sim(config);
+
+  const core::MonthlyResult cc = sim.run(Strategy::kCostCapping);
+  const core::MonthlyResult avg = sim.run(Strategy::kMinOnlyAvg);
+  const core::MonthlyResult low = sim.run(Strategy::kMinOnlyLow);
+
+  bench::heading("Fig. 3: hourly electricity cost (one row per day shown)");
+  util::Table table({"hour", "day", "CostCapping $", "MinOnly(Avg) $",
+                     "MinOnly(Low) $"});
+  for (std::size_t h = 12; h < cc.hours.size(); h += 24) {
+    table.add_row({std::to_string(h),
+                   util::hour_label(sim.history_trace().hours() + h),
+                   util::format_fixed(cc.hours[h].cost, 1),
+                   util::format_fixed(avg.hours[h].cost, 1),
+                   util::format_fixed(low.hours[h].cost, 1)});
+  }
+  table.print(std::cout);
+
+  const double save_avg = 100.0 * (avg.total_cost - cc.total_cost) / avg.total_cost;
+  const double save_low = 100.0 * (low.total_cost - cc.total_cost) / low.total_cost;
+  std::printf(
+      "\nmonthly: CostCapping $%.0f | MinOnly(Avg) $%.0f | MinOnly(Low) $%.0f\n"
+      "Cost Capping saves (%.1f%%, %.1f%%) vs (Avg, Low)  [paper: (17.9%%, 33.5%%)]\n",
+      cc.total_cost, avg.total_cost, low.total_cost, save_avg, save_low);
+
+  util::Csv csv({"hour", "cost_capping", "min_only_avg", "min_only_low",
+                 "arrivals"});
+  for (std::size_t h = 0; h < cc.hours.size(); ++h) {
+    csv.add_numeric_row({static_cast<double>(h), cc.hours[h].cost,
+                         avg.hours[h].cost, low.hours[h].cost,
+                         cc.hours[h].arrivals});
+  }
+  bench::save_csv(csv, "fig03_hourly_cost");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figures 7 and 8 — Bill capping under an INSUFFICIENT monthly budget:
+//  * Fig. 7: premium traffic keeps 100 % service; ordinary traffic is
+//    admission-controlled, down to zero in the starved hours.
+//  * Fig. 8: hourly cost vs hourly budget; hours where the premium QoS
+//    guarantee forces a deliberate budget violation are flagged.
+//
+// Budget calibration: in this reproduction the uncapped month costs
+// ~$1.5M, so the paper's stringent "$1.5M of ~$1.9M needed" corresponds to
+// ~$1.0M here (see EXPERIMENTS.md); the paper's literal $1.5M is also run
+// for reference.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+#include "util/calendar.hpp"
+
+namespace {
+
+void run_budget(double budget, bool dump_csv) {
+  using namespace billcap;
+  core::SimulationConfig config;
+  config.monthly_budget = budget;
+  const core::Simulator sim(config);
+  const core::MonthlyResult r = sim.run(core::Strategy::kCostCapping);
+
+  bench::heading("Fig. 7: throughput under a $" +
+                 util::format_fixed(budget / 1e6, 1) + "M monthly budget");
+  int zero_ordinary = 0;
+  int premium_only = 0;
+  for (const auto& rec : r.hours) {
+    if (rec.served_ordinary < 1.0) ++zero_ordinary;
+    if (rec.mode == core::CappingOutcome::Mode::kPremiumOnly) ++premium_only;
+  }
+  util::Table fig7({"hour", "premium in (G)", "premium served (G)",
+                    "ordinary in (G)", "ordinary served (G)", "mode"});
+  // Show a stressed weekday stretch.
+  for (std::size_t h = 320; h < 360; h += 2) {
+    const auto& rec = r.hours[h];
+    fig7.add_row({std::to_string(h),
+                  util::format_fixed(rec.premium_arrivals / 1e9, 1),
+                  util::format_fixed(rec.served_premium / 1e9, 1),
+                  util::format_fixed(rec.ordinary_arrivals / 1e9, 1),
+                  util::format_fixed(rec.served_ordinary / 1e9, 1),
+                  core::to_string(rec.mode)});
+  }
+  fig7.print(std::cout);
+  std::printf(
+      "\nmonthly: premium served %.2f%% | ordinary served %.2f%% | "
+      "%d zero-ordinary hours | %d premium-only hours\n",
+      100.0 * r.premium_throughput_ratio(),
+      100.0 * r.ordinary_throughput_ratio(), zero_ordinary, premium_only);
+
+  bench::heading("Fig. 8: hourly cost vs budget (one row per day)");
+  util::Table fig8({"hour", "day", "hourly budget $", "cost $", "violated?"});
+  for (std::size_t h = 12; h < r.hours.size(); h += 24) {
+    const auto& rec = r.hours[h];
+    fig8.add_row({std::to_string(h),
+                  util::hour_label(sim.history_trace().hours() + h),
+                  util::format_fixed(rec.hourly_budget, 1),
+                  util::format_fixed(rec.cost, 1),
+                  rec.mode == core::CappingOutcome::Mode::kPremiumOnly
+                      ? "YES (premium QoS)"
+                      : "no"});
+  }
+  fig8.print(std::cout);
+  std::printf("\nmonthly: cost $%.0f of $%.0f (utilization %.1f%%), "
+              "%d hourly violations forced by the premium guarantee\n",
+              r.total_cost, r.monthly_budget,
+              100.0 * r.budget_utilization(), premium_only);
+
+  if (dump_csv) {
+    billcap::util::Csv csv({"hour", "premium_in", "premium_served",
+                            "ordinary_in", "ordinary_served", "hourly_budget",
+                            "cost", "premium_only_mode"});
+    for (const auto& rec : r.hours) {
+      csv.add_numeric_row(
+          {static_cast<double>(rec.hour), rec.premium_arrivals,
+           rec.served_premium, rec.ordinary_arrivals, rec.served_ordinary,
+           rec.hourly_budget, rec.cost,
+           rec.mode == core::CappingOutcome::Mode::kPremiumOnly ? 1.0 : 0.0});
+    }
+    bench::save_csv(csv, "fig07_fig08_tight_budget");
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_budget(1.0e6, /*dump_csv=*/true);   // calibrated stringent budget
+  run_budget(1.5e6, /*dump_csv=*/false);  // the paper's literal value
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9 — Cost and throughput under a stringent monthly budget,
+// Cost Capping vs Min-Only (Avg) and Min-Only (Low). Costs are normalized
+// against the budget (>1 = violation), throughput against Min-Only (which
+// serves everything regardless of cost).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+
+int main() {
+  using namespace billcap;
+  using core::Strategy;
+
+  const double budget = 1.0e6;  // calibrated stringent budget (EXPERIMENTS.md)
+  core::SimulationConfig config;
+  config.monthly_budget = budget;
+  const core::Simulator sim(config);
+
+  const core::MonthlyResult cc = sim.run(Strategy::kCostCapping);
+  const core::MonthlyResult avg = sim.run(Strategy::kMinOnlyAvg);
+  const core::MonthlyResult low = sim.run(Strategy::kMinOnlyLow);
+
+  bench::heading("Fig. 9: normalized cost and throughput, $1.0M budget");
+  util::Table table({"strategy", "cost / budget", "premium throughput",
+                     "ordinary throughput"});
+  util::Csv csv({"strategy_id", "cost_over_budget", "premium_ratio",
+                 "ordinary_ratio"});
+  int id = 0;
+  for (const auto* r : {&cc, &avg, &low}) {
+    table.add_row({core::to_string(r->strategy),
+                   util::format_fixed(r->budget_utilization(), 3),
+                   util::format_fixed(r->premium_throughput_ratio(), 3),
+                   util::format_fixed(r->ordinary_throughput_ratio(), 3)});
+    csv.add_numeric_row({static_cast<double>(id++), r->budget_utilization(),
+                         r->premium_throughput_ratio(),
+                         r->ordinary_throughput_ratio()});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nShape check (paper Fig. 9): Min-Only exceeds the budget (+23.3%% /"
+      " +39.5%% there) while serving 100%%;\nCost Capping keeps the bill at"
+      " ~<=1.0x budget, 100%% premium, best-effort ordinary (80.3%% there).\n"
+      "Measured: CC %.1f%% of budget, Avg +%.1f%%, Low +%.1f%%; CC ordinary"
+      " %.1f%%.\n",
+      100.0 * cc.budget_utilization(),
+      100.0 * (avg.budget_utilization() - 1.0),
+      100.0 * (low.budget_utilization() - 1.0),
+      100.0 * cc.ordinary_throughput_ratio());
+  bench::save_csv(csv, "fig09_comparison");
+  return 0;
+}

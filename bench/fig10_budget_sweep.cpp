@@ -1,0 +1,52 @@
+// Figure 10 — Monthly throughput of Cost Capping across a series of
+// monthly budgets ($0.5M .. $2.5M), normalized against the arriving
+// premium and ordinary volumes. Premium stays at 100 % everywhere;
+// ordinary throughput rises with the budget and saturates once the budget
+// is ample. The five month-long simulations run through the thread pool.
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace billcap;
+
+  constexpr std::array<double, 5> kBudgets = {0.5e6, 1.0e6, 1.5e6, 2.0e6,
+                                              2.5e6};
+  std::vector<core::MonthlyResult> results(kBudgets.size());
+  util::parallel_for(kBudgets.size(), [&](std::size_t i) {
+    core::SimulationConfig config;
+    config.monthly_budget = kBudgets[i];
+    results[i] = core::Simulator(config).run(core::Strategy::kCostCapping);
+  });
+
+  bench::heading("Fig. 10: monthly throughput vs monthly budget");
+  util::Table table({"budget", "premium served", "ordinary served",
+                     "ordinary (G requests)", "cost / budget"});
+  util::Csv csv({"budget", "premium_ratio", "ordinary_ratio",
+                 "ordinary_served_requests", "cost"});
+  for (std::size_t i = 0; i < kBudgets.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({"$" + util::format_fixed(kBudgets[i] / 1e6, 1) + "M",
+                   util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) + "%",
+                   util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%",
+                   util::format_fixed(r.total_served_ordinary / 1e9, 0),
+                   util::format_fixed(r.budget_utilization(), 3)});
+    csv.add_numeric_row({kBudgets[i], r.premium_throughput_ratio(),
+                         r.ordinary_throughput_ratio(),
+                         r.total_served_ordinary, r.total_cost});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape check (paper Fig. 10): premium at 100%% for every budget;\n"
+      "ordinary throughput grows with the budget and saturates at the ample"
+      " end\n(the paper's interesting $2.0M case — nearly-but-not-quite full"
+      " service due\nto history-based hourly budgeting — appears here as"
+      " well).\n");
+  bench::save_csv(csv, "fig10_budget_sweep");
+  return 0;
+}

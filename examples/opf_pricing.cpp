@@ -1,0 +1,66 @@
+// opf_pricing — derive locational step pricing policies from the physics
+// of a transmission grid.
+//
+// Walks the PJM five-bus system through a load sweep, solving a DC optimal
+// power flow at each point with the repository's own simplex. The
+// locational marginal price at each bus is the dual variable of its nodal
+// balance constraint; wherever a generator or line limit starts to bind,
+// the LMP vector jumps — producing exactly the step pricing policies the
+// bill capper consumes (Figure 1 / Section II).
+//
+// Usage: opf_pricing [max_system_load_mw]   (default 920)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "market/dcopf.hpp"
+#include "market/pjm5.hpp"
+#include "market/policy_derivation.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace billcap;
+
+  const double max_load = argc > 1 ? std::atof(argv[1]) : 920.0;
+  const market::Grid grid = market::pjm5_grid();
+
+  std::printf("PJM five-bus system: %d buses, %d lines, %d generators "
+              "(%.0f MW capacity)\n\n",
+              grid.num_buses(), grid.num_lines(), grid.num_generators(),
+              grid.total_capacity_mw());
+
+  // Snapshot dispatches at a few loads.
+  util::Table dispatch({"system MW", "Alta", "ParkCity", "Solitude",
+                        "Sundance", "Brighton", "LMP B", "LMP C", "LMP D"});
+  for (double load : {150.0, 450.0, 650.0, 800.0, 900.0}) {
+    if (load > max_load) break;
+    const market::DcOpfResult r =
+        market::solve_dcopf(grid, market::pjm5_loads(load));
+    if (!r.ok()) {
+      std::printf("OPF infeasible at %.0f MW\n", load);
+      continue;
+    }
+    dispatch.add_numeric_row({load, r.dispatch_mw[0], r.dispatch_mw[1],
+                              r.dispatch_mw[2], r.dispatch_mw[3],
+                              r.dispatch_mw[4], r.lmp[1], r.lmp[2], r.lmp[3]},
+                             1);
+  }
+  dispatch.print(std::cout);
+  std::printf("\nBrighton (cheapest, bus E) carries the system until its "
+              "600 MW limit binds;\nthe 240 MW D-E line separates prices "
+              "further.\n\n");
+
+  // Full derivation into step policies.
+  const auto policies = market::derive_policies_from_opf(
+      grid, market::pjm5_load_buses(), max_load, 2.0);
+  const char* names[3] = {"B", "C", "D"};
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    std::printf("location %s policy: %s\n", names[i],
+                policies[i].to_string().c_str());
+  }
+  std::printf("\nThese derived step curves are the mechanism behind the "
+              "canonical Policy 1\nthe evaluation uses "
+              "(market::paper_policies).\n");
+  return 0;
+}

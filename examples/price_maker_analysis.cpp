@@ -1,0 +1,80 @@
+// price_maker_analysis — why a cloud-scale data center cannot pretend to
+// be a price taker.
+//
+// Sweeps one site's request load and shows, side by side:
+//   * the locational price the load actually triggers (the site's own
+//     draw crosses the policy's thresholds), and
+//   * the bill a price-taker model would have predicted at the flat
+//     average price.
+// Then compares a whole hour of the network allocated both ways.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/cost_minimizer.hpp"
+#include "core/cost_model.hpp"
+#include "core/formulation.hpp"
+#include "datacenter/catalog.hpp"
+#include "market/pricing_policy.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace billcap;
+
+  const auto sites = datacenter::paper_datacenters();
+  const auto policies = market::paper_policies(1);
+  const std::vector<double> demand = {228.0, 182.0, 172.0};
+
+  std::printf("Part 1: one site's bill as its own load grows (dc1, d = %.0f "
+              "MW background)\n\n",
+              demand[0]);
+  util::Table sweep({"Greq/h", "site power MW", "location total MW",
+                     "real $/MWh", "real bill $", "price-taker bill $"});
+  const double flat = policies[0].average_price();
+  for (double greq = 50.0; greq <= 500.0; greq += 50.0) {
+    const double lambda = greq * 1e9;
+    const double power = sites[0].power_mw(lambda);
+    const double total = power + demand[0];
+    const double price = policies[0].price_at(total);
+    sweep.add_numeric_row({greq, power, total, price, price * power,
+                           flat * power},
+                          2);
+  }
+  sweep.print(std::cout);
+  std::printf("\nThe real price steps up as the site itself crosses 237.3 "
+              "and 266.7 MW\n— the price-maker effect the paper models "
+              "(Section II).\n");
+
+  std::printf("\nPart 2: one hour of the whole network, 9e11 requests\n\n");
+  const double lambda = 9e11;
+  const core::AllocationResult maker =
+      core::minimize_cost(sites, policies, demand, lambda);
+
+  // A price taker with full power awareness (only the price model differs).
+  std::vector<core::SiteModel> taker_models;
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    taker_models.push_back(core::make_site_model(
+        sites[i], market::PricingPolicy::flat(policies[i].average_price()),
+        0.0, true));
+  const core::AllocationResult taker =
+      core::minimize_cost_over_models(taker_models, lambda);
+
+  util::Table compare({"strategy", "dc1 G", "dc2 G", "dc3 G",
+                       "believed $", "billed $"});
+  for (const auto* r : {&maker, &taker}) {
+    const core::GroundTruth truth =
+        core::evaluate_allocation(sites, policies, demand, r->lambda_vector());
+    compare.add_row({r == &maker ? "price maker" : "price taker",
+                     util::format_fixed(r->sites[0].lambda / 1e9, 0),
+                     util::format_fixed(r->sites[1].lambda / 1e9, 0),
+                     util::format_fixed(r->sites[2].lambda / 1e9, 0),
+                     util::format_fixed(r->predicted_cost, 0),
+                     util::format_fixed(truth.total_cost, 0)});
+  }
+  compare.print(std::cout);
+  std::printf("\nSame workload, same physics — the taker's allocation is "
+              "blind to the steps\nit triggers and pays for it at billing "
+              "time.\n");
+  return 0;
+}

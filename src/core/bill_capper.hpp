@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cost_minimizer.hpp"
+#include "core/throughput_maximizer.hpp"
+
+namespace billcap::core {
+
+/// One invocation of the two-step bill capping algorithm (Section III).
+struct CappingOutcome {
+  /// Which branch of the algorithm produced the allocation.
+  enum class Mode {
+    kUncapped,     ///< step 1 alone: minimized cost fits the hourly budget
+    kCapped,       ///< step 2: ordinary traffic throttled to fit the budget
+    kPremiumOnly,  ///< budget insufficient even for premium: QoS guarantee
+                   ///< forces a deliberate budget violation (Section V-B)
+  };
+  Mode mode = Mode::kUncapped;
+  AllocationResult allocation;
+  double hourly_budget = 0.0;
+  double served_premium = 0.0;   ///< requests/hour with guaranteed QoS
+  double served_ordinary = 0.0;  ///< best-effort requests/hour served
+  double dropped_capacity = 0.0; ///< arrivals beyond physical capacity
+};
+
+const char* to_string(CappingOutcome::Mode mode) noexcept;
+
+/// The bill capper: per invocation period, first minimize cost for the full
+/// workload; if the predicted cost exceeds the hourly budget, re-solve as
+/// throughput maximization within the budget, admission-controlling only
+/// ordinary customers; if even the premium workload cannot fit, serve
+/// premium at minimum cost and accept the violation.
+///
+/// Holds references to the site and policy catalogs — the caller keeps them
+/// alive for the capper's lifetime (the Simulator owns both).
+class BillCapper {
+ public:
+  BillCapper(const std::vector<datacenter::DataCenter>& sites,
+             const std::vector<market::PricingPolicy>& policies,
+             OptimizerOptions options = {});
+
+  /// Decides the hour's allocation. `lambda_premium`/`lambda_ordinary` are
+  /// the hour's arriving premium/ordinary request rates, `other_demand_mw`
+  /// the per-site background demand, `hourly_budget` the budgeter's figure.
+  /// Arrivals beyond the believed system capacity are shed (ordinary
+  /// first) and reported as dropped_capacity.
+  CappingOutcome decide(double lambda_premium, double lambda_ordinary,
+                        std::span<const double> other_demand_mw,
+                        double hourly_budget) const;
+
+ private:
+  const std::vector<datacenter::DataCenter>& sites_;
+  const std::vector<market::PricingPolicy>& policies_;
+  OptimizerOptions options_;
+};
+
+}  // namespace billcap::core

@@ -1,0 +1,39 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace billcap::core {
+
+GroundTruth evaluate_allocation(
+    const std::vector<datacenter::DataCenter>& sites,
+    const std::vector<market::PricingPolicy>& policies,
+    std::span<const double> other_demand_mw, std::span<const double> lambda) {
+  const std::size_t n = sites.size();
+  if (policies.size() != n || other_demand_mw.size() != n ||
+      lambda.size() != n)
+    throw std::invalid_argument(
+        "evaluate_allocation: sites/policies/demand/lambda size mismatch");
+
+  GroundTruth out;
+  out.sites.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GroundTruthSite& site = out.sites[i];
+    site.lambda = lambda[i];
+    site.servers = sites[i].servers_for(lambda[i]);
+    site.power = sites[i].power_breakdown(lambda[i]);
+    const double p = site.power.total_mw();
+    site.price_per_mwh = policies[i].price_at(p + other_demand_mw[i]);
+    site.overage_mw =
+        std::max(0.0, p - sites[i].spec().power_cap_mw);
+    site.penalty =
+        kPowerCapPenaltyMultiplier * site.price_per_mwh * site.overage_mw;
+    site.cost = site.price_per_mwh * p + site.penalty;  // 1 h: MW == MWh
+    out.total_cost += site.cost;
+    out.total_penalty += site.penalty;
+    out.total_power_mw += p;
+  }
+  return out;
+}
+
+}  // namespace billcap::core

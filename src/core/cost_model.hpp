@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datacenter/datacenter.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::core {
+
+/// Suppliers penalize price makers heavily when the agreed power cap is
+/// exceeded (Section I / II): overage MWh are billed at this multiple of
+/// the locational price on top of the regular energy charge.
+inline constexpr double kPowerCapPenaltyMultiplier = 5.0;
+
+/// Ground-truth billing of one site for one invocation period (1 h).
+struct GroundTruthSite {
+  double lambda = 0.0;        ///< requests/hour dispatched to the site
+  std::uint64_t servers = 0;  ///< active servers (local optimizer)
+  datacenter::DataCenter::PowerBreakdown power;  ///< exact breakdown
+  double price_per_mwh = 0.0;  ///< locational price at (p + d)
+  double overage_mw = 0.0;     ///< draw beyond the supplier cap Ps
+  double penalty = 0.0;        ///< $ charged for the overage
+  double cost = 0.0;           ///< $ for the hour (incl. penalty)
+};
+
+/// Ground-truth billing of the whole network for one hour.
+struct GroundTruth {
+  std::vector<GroundTruthSite> sites;
+  double total_cost = 0.0;
+  double total_penalty = 0.0;
+  double total_power_mw = 0.0;
+};
+
+/// Bills an allocation under the *real* physics and the *real* locational
+/// pricing: integer server/switch counts, full server+network+cooling power,
+/// and the step price set by the site's total locational consumption
+/// p_i + d_i. Every strategy — Cost Capping and the Min-Only baselines
+/// alike — is charged through this function, so a baseline that optimized
+/// a simplified model pays for its modeling error here.
+///
+/// Requires equal-sized spans (one entry per site). Throws if a site cannot
+/// serve its assigned load within its server capacity.
+GroundTruth evaluate_allocation(
+    const std::vector<datacenter::DataCenter>& sites,
+    const std::vector<market::PricingPolicy>& policies,
+    std::span<const double> other_demand_mw, std::span<const double> lambda);
+
+}  // namespace billcap::core

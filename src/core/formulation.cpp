@@ -1,0 +1,180 @@
+#include "core/formulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace billcap::core {
+
+SiteModel make_site_model(const datacenter::DataCenter& site,
+                          const market::PricingPolicy& policy,
+                          double other_demand_mw,
+                          bool model_cooling_network) {
+  const datacenter::DataCenter::AffinePower affine =
+      model_cooling_network ? site.affine_power()
+                            : site.affine_server_power_only();
+
+  SiteModel model;
+  model.power_slope = affine.slope_mw_per_request_hour;
+  model.power_intercept_mw = affine.intercept_mw;
+  // A 0.1 % safety margin keeps the exact (integer-ceiling) power of the
+  // chosen allocation from grazing past the supplier cap and triggering the
+  // overage penalty.
+  model.power_cap_mw = site.spec().power_cap_mw * 0.999;
+
+  // The site can absorb requests up to server capacity, further limited by
+  // the believed power cap.
+  const double by_capacity = site.max_requests_per_hour();
+  const double by_power =
+      model.power_slope > 0.0
+          ? std::max(0.0, (model.power_cap_mw - model.power_intercept_mw) /
+                              model.power_slope)
+          : by_capacity;
+  model.lambda_max = std::min(by_capacity, by_power);
+
+  const double max_power = std::min(
+      model.power_cap_mw,
+      model.power_slope * model.lambda_max + model.power_intercept_mw);
+  model.cost_curve =
+      policy.dc_cost_curve(other_demand_mw, std::max(max_power, 1e-6));
+  return model;
+}
+
+AllocationFormulation build_allocation_formulation(
+    std::span<const SiteModel> sites) {
+  AllocationFormulation f;
+  f.vars.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const SiteModel& site = sites[i];
+    const std::string tag = "site" + std::to_string(i);
+    SiteVars v;
+    v.lambda = f.problem.add_variable(tag + ".lambda", 0.0,
+                                      site.lambda_max / kLambdaScale);
+    v.active = f.problem.add_binary(tag + ".active");
+    v.power =
+        f.problem.add_variable(tag + ".power", 0.0, site.power_cap_mw);
+    v.cost = lp::add_piecewise_cost(f.problem, site.cost_curve, tag + ".cost");
+
+    // lambda_i <= lambda_max * y_i.
+    f.problem.add_constraint(
+        tag + ".activation",
+        {{v.lambda, 1.0}, {v.active, -site.lambda_max / kLambdaScale}},
+        lp::Relation::kLessEqual, 0.0);
+
+    if (site.power_segments.empty()) {
+      // Homogeneous: p_i - slope*lambda_i - intercept*y_i = 0
+      // (slope rescaled to giga-requests).
+      f.problem.add_constraint(
+          tag + ".power_link",
+          {{v.power, 1.0},
+           {v.lambda, -site.power_slope * kLambdaScale},
+           {v.active, -site.power_intercept_mw}},
+          lp::Relation::kEqual, 0.0);
+    } else {
+      // Heterogeneous: lambda_i = sum_k lambda_ik and
+      // p_i = sum_k slope_k * lambda_ik + intercept*y_i. Cost increases
+      // with power, so the solver fills cheap classes first on its own.
+      std::vector<lp::Term> split = {{v.lambda, -1.0}};
+      std::vector<lp::Term> power_link = {{v.power, 1.0},
+                                          {v.active, -site.power_intercept_mw}};
+      for (std::size_t k = 0; k < site.power_segments.size(); ++k) {
+        const auto& seg = site.power_segments[k];
+        const int lk = f.problem.add_variable(
+            tag + ".class" + std::to_string(k), 0.0,
+            seg.lambda_cap / kLambdaScale);
+        v.lambda_segments.push_back(lk);
+        split.push_back({lk, 1.0});
+        power_link.push_back({lk, -seg.slope * kLambdaScale});
+      }
+      f.problem.add_constraint(tag + ".class_split", std::move(split),
+                               lp::Relation::kEqual, 0.0);
+      f.problem.add_constraint(tag + ".power_link", std::move(power_link),
+                               lp::Relation::kEqual, 0.0);
+    }
+
+    // Tie the piecewise aggregate to the site power.
+    f.problem.add_constraint(tag + ".cost_link",
+                             {{v.cost.x, 1.0}, {v.power, -1.0}},
+                             lp::Relation::kEqual, 0.0);
+    f.vars.push_back(std::move(v));
+  }
+  return f;
+}
+
+SiteModel make_heterogeneous_site_model(
+    const datacenter::HeterogeneousSite& site,
+    const market::PricingPolicy& policy, double other_demand_mw) {
+  SiteModel model;
+  model.power_intercept_mw = site.activation_mw();
+  model.power_cap_mw = site.power_cap_mw() * 0.999;
+
+  const auto segments = site.power_segments();
+  model.power_slope = segments.front().slope_mw_per_request;
+  double lambda_total = 0.0;
+  double power_total = model.power_intercept_mw;
+  for (const auto& seg : segments) {
+    // Clip segment capacity once the cumulative power hits the cap.
+    double cap = seg.lambda_cap;
+    if (seg.slope_mw_per_request > 0.0) {
+      const double head =
+          (model.power_cap_mw - power_total) / seg.slope_mw_per_request;
+      cap = std::min(cap, std::max(0.0, head));
+    }
+    if (cap <= 0.0) break;
+    model.power_segments.push_back({cap, seg.slope_mw_per_request});
+    lambda_total += cap;
+    power_total += cap * seg.slope_mw_per_request;
+  }
+  model.lambda_max = lambda_total;
+  model.cost_curve =
+      policy.dc_cost_curve(other_demand_mw, std::max(power_total, 1e-6));
+  return model;
+}
+
+std::vector<double> AllocationResult::lambda_vector() const {
+  std::vector<double> out;
+  out.reserve(sites.size());
+  for (const SiteOutcome& s : sites) out.push_back(s.lambda);
+  return out;
+}
+
+AllocationResult decode_solution(const AllocationFormulation& formulation,
+                                 std::span<const SiteModel> sites,
+                                 const lp::Solution& solution) {
+  AllocationResult out;
+  out.status = solution.status;
+  out.nodes = solution.nodes;
+  out.iterations = solution.iterations;
+  if (!solution.ok()) return out;
+
+  out.sites.resize(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const SiteVars& v = formulation.vars[i];
+    SiteOutcome& site = out.sites[i];
+    site.lambda =
+        solution.x[static_cast<std::size_t>(v.lambda)] * kLambdaScale;
+    // Clean up round-off: tiny negative or epsilon loads become zero.
+    if (site.lambda < 1e-3) site.lambda = 0.0;
+    site.active = solution.x[static_cast<std::size_t>(v.active)] > 0.5;
+    site.power_mw = solution.x[static_cast<std::size_t>(v.power)];
+    double cost = 0.0;
+    for (std::size_t k = 0; k < v.cost.amounts.size(); ++k) {
+      cost += sites[i].cost_curve.slopes[k] *
+                  solution.x[static_cast<std::size_t>(v.cost.amounts[k])] +
+              sites[i].cost_curve.intercepts[k] *
+                  solution.x[static_cast<std::size_t>(v.cost.selectors[k])];
+    }
+    site.cost = cost;
+    out.total_lambda += site.lambda;
+    out.predicted_cost += cost;
+  }
+  return out;
+}
+
+double system_capacity(std::span<const SiteModel> sites) {
+  double total = 0.0;
+  for (const SiteModel& site : sites) total += site.lambda_max;
+  return total;
+}
+
+}  // namespace billcap::core

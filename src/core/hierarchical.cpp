@@ -1,0 +1,113 @@
+#include "core/hierarchical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace billcap::core {
+
+std::vector<Region> contiguous_regions(std::size_t num_sites,
+                                       std::size_t max_sites_per_region) {
+  if (max_sites_per_region == 0)
+    throw std::invalid_argument("contiguous_regions: empty region size");
+  std::vector<Region> regions;
+  for (std::size_t start = 0; start < num_sites;
+       start += max_sites_per_region) {
+    Region region;
+    region.name = "region" + std::to_string(regions.size());
+    for (std::size_t i = start;
+         i < std::min(num_sites, start + max_sites_per_region); ++i)
+      region.site_indices.push_back(i);
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+HierarchicalCapper::HierarchicalCapper(
+    const std::vector<datacenter::DataCenter>& sites,
+    const std::vector<market::PricingPolicy>& policies,
+    std::vector<Region> regions, OptimizerOptions options)
+    : sites_(sites), policies_(policies), regions_(std::move(regions)),
+      options_(options) {
+  if (sites_.size() != policies_.size())
+    throw std::invalid_argument("HierarchicalCapper: one policy per site");
+  std::vector<bool> covered(sites_.size(), false);
+  for (const Region& region : regions_) {
+    if (region.site_indices.empty())
+      throw std::invalid_argument("HierarchicalCapper: empty region " +
+                                  region.name);
+    for (std::size_t i : region.site_indices) {
+      if (i >= sites_.size() || covered[i])
+        throw std::invalid_argument(
+            "HierarchicalCapper: bad or duplicate site in " + region.name);
+      covered[i] = true;
+    }
+  }
+  for (bool c : covered)
+    if (!c)
+      throw std::invalid_argument("HierarchicalCapper: uncovered site");
+
+  region_sites_.reserve(regions_.size());
+  region_policies_.reserve(regions_.size());
+  for (const Region& region : regions_) {
+    std::vector<datacenter::DataCenter> rs;
+    std::vector<market::PricingPolicy> rp;
+    for (std::size_t i : region.site_indices) {
+      rs.push_back(sites_[i]);
+      rp.push_back(policies_[i]);
+    }
+    region_sites_.push_back(std::move(rs));
+    region_policies_.push_back(std::move(rp));
+  }
+}
+
+HierarchicalOutcome HierarchicalCapper::decide(
+    double lambda_premium, double lambda_ordinary,
+    std::span<const double> other_demand_mw, double hourly_budget) const {
+  if (other_demand_mw.size() != sites_.size())
+    throw std::invalid_argument("HierarchicalCapper: demand size mismatch");
+
+  // Coordinator: believed capacity per region sets the workload and budget
+  // shares (proportional split — the simple policy Section IX envisions;
+  // anything smarter lives above this interface).
+  std::vector<double> capacity(regions_.size(), 0.0);
+  double total_capacity = 0.0;
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    for (std::size_t k = 0; k < regions_[r].site_indices.size(); ++k) {
+      const std::size_t i = regions_[r].site_indices[k];
+      const SiteModel model = make_site_model(
+          sites_[i], policies_[i], other_demand_mw[i],
+          options_.model_cooling_network);
+      capacity[r] += model.lambda_max;
+    }
+    total_capacity += capacity[r];
+  }
+  if (total_capacity <= 0.0)
+    throw std::runtime_error("HierarchicalCapper: no capacity anywhere");
+
+  HierarchicalOutcome out;
+  out.site_lambda.assign(sites_.size(), 0.0);
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const double share = capacity[r] / total_capacity;
+    const BillCapper capper(region_sites_[r], region_policies_[r], options_);
+    std::vector<double> region_demand;
+    for (std::size_t i : regions_[r].site_indices)
+      region_demand.push_back(other_demand_mw[i]);
+
+    const CappingOutcome regional = capper.decide(
+        lambda_premium * share, lambda_ordinary * share, region_demand,
+        hourly_budget * share);
+
+    out.served_premium += regional.served_premium;
+    out.served_ordinary += regional.served_ordinary;
+    out.predicted_cost += regional.allocation.predicted_cost;
+    out.dropped_capacity += regional.dropped_capacity;
+    out.mode = std::max(out.mode, regional.mode);
+    const auto lambdas = regional.allocation.lambda_vector();
+    for (std::size_t k = 0; k < regions_[r].site_indices.size(); ++k)
+      out.site_lambda[regions_[r].site_indices[k]] = lambdas[k];
+    out.region_outcomes.push_back(regional);
+  }
+  return out;
+}
+
+}  // namespace billcap::core

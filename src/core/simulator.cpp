@@ -1,0 +1,332 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/baselines.hpp"
+#include "datacenter/catalog.hpp"
+#include "market/background_demand.hpp"
+#include "util/calendar.hpp"
+#include "workload/predictor.hpp"
+
+namespace billcap::core {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+const char* to_string(BudgetWeighting weighting) noexcept {
+  switch (weighting) {
+    case BudgetWeighting::kHistory: return "history";
+    case BudgetWeighting::kUniform: return "uniform";
+    case BudgetWeighting::kOracle: return "oracle";
+  }
+  return "unknown";
+}
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kCostCapping: return "CostCapping";
+    case Strategy::kMinOnlyAvg: return "MinOnly(Avg)";
+    case Strategy::kMinOnlyLow: return "MinOnly(Low)";
+  }
+  return "unknown";
+}
+
+double MonthlyResult::premium_throughput_ratio() const noexcept {
+  return total_premium_arrivals > 0.0
+             ? total_served_premium / total_premium_arrivals
+             : 1.0;
+}
+
+double MonthlyResult::ordinary_throughput_ratio() const noexcept {
+  return total_ordinary_arrivals > 0.0
+             ? total_served_ordinary / total_ordinary_arrivals
+             : 1.0;
+}
+
+double MonthlyResult::budget_utilization() const noexcept {
+  return monthly_budget > 0.0 ? total_cost / monthly_budget : 0.0;
+}
+
+Simulator::Simulator(SimulationConfig config)
+    : config_(std::move(config)),
+      sites_(datacenter::paper_datacenters()),
+      policies_(market::paper_policies(config_.policy_level)),
+      budgeter_(1.0, std::vector<double>(168, 1.0 / 168.0), 1) /* replaced */ {
+  if (config_.premium_share < 0.0 || config_.premium_share > 1.0)
+    throw std::invalid_argument("Simulator: premium_share in [0,1] required");
+
+  const workload::TwoMonthTrace traces =
+      workload::paper_two_month_trace(config_.seed, config_.workload);
+  history_ = traces.history;
+  evaluation_ = traces.evaluation;
+  if (config_.history_seed_offset != 0) {
+    // Misprediction injection: the budgeter learns from a history month of
+    // a different random world (same shape family, different realization).
+    history_ = workload::paper_two_month_trace(
+                   config_.seed + config_.history_seed_offset,
+                   config_.workload)
+                   .history;
+  }
+
+  // Background demand, phase-aligned with the trace: generate both months
+  // and keep the evaluation slice.
+  const std::size_t total_hours = history_.hours() + evaluation_.hours();
+  const auto full_demand =
+      market::paper_background_demand(total_hours, config_.seed ^ 0x9e3779b9);
+  demand_.resize(full_demand.size());
+  for (std::size_t s = 0; s < full_demand.size(); ++s) {
+    demand_[s].assign(full_demand[s].begin() +
+                          static_cast<std::ptrdiff_t>(history_.hours()),
+                      full_demand[s].end());
+  }
+  if (demand_.size() != sites_.size())
+    throw std::logic_error("Simulator: demand/site count mismatch");
+
+  std::vector<double> weights;
+  switch (config_.budget_weighting) {
+    case BudgetWeighting::kHistory:
+      weights = workload::hour_of_week_weights(history_.series(),
+                                               config_.history_weeks);
+      break;
+    case BudgetWeighting::kUniform:
+      weights.assign(util::kHoursPerWeek,
+                     1.0 / static_cast<double>(util::kHoursPerWeek));
+      break;
+    case BudgetWeighting::kOracle: {
+      // Perfect foresight: weights from the evaluation month itself. Its
+      // phase starts where the history month ended, so prepend a history-
+      // length zero pad is unnecessary — hour_of_week_weights assumes the
+      // span starts at global hour 0, so rebuild with explicit slotting.
+      std::vector<double> sums(util::kHoursPerWeek, 0.0);
+      for (std::size_t h = 0; h < evaluation_.hours(); ++h)
+        sums[util::hour_of_week(history_.hours() + h)] += evaluation_.at(h);
+      double total = 0.0;
+      for (double s : sums) total += s;
+      for (double& s : sums) s /= total;
+      weights = std::move(sums);
+      break;
+    }
+  }
+  budgeter_ = Budgeter(config_.monthly_budget, std::move(weights),
+                       evaluation_.hours(),
+                       util::hour_of_week(history_.hours()));
+}
+
+std::vector<double> Simulator::demand_at(std::size_t hour) const {
+  std::vector<double> d;
+  d.reserve(demand_.size());
+  for (const auto& series : demand_) d.push_back(series.at(hour));
+  return d;
+}
+
+HourRecord Simulator::run_hour_cost_capping(const BillCapper& capper,
+                                            std::size_t hour,
+                                            double spent_so_far) const {
+  const workload::PremiumSplit split(config_.premium_share);
+  const double arrivals = evaluation_.at(hour);
+  const double premium = split.premium(arrivals);
+  const double ordinary = split.ordinary(arrivals);
+  const std::vector<double> d = demand_at(hour);
+
+  // Without budget enforcement the capper still runs, but against an
+  // unlimited budget: exactly step 1 (used for Figures 3 and 4).
+  const double budget = config_.enforce_budget
+                            ? budgeter_.hourly_budget(hour, spent_so_far)
+                            : 1e18;
+
+  const auto start = std::chrono::steady_clock::now();
+  const CappingOutcome outcome = capper.decide(premium, ordinary, d, budget);
+  const double ms = elapsed_ms(start);
+
+  const GroundTruth truth = evaluate_allocation(
+      sites_, policies_, d, outcome.allocation.lambda_vector());
+
+  HourRecord rec;
+  rec.hour = hour;
+  rec.arrivals = arrivals;
+  rec.premium_arrivals = premium;
+  rec.ordinary_arrivals = ordinary;
+  rec.served_premium = outcome.served_premium;
+  rec.served_ordinary = outcome.served_ordinary;
+  rec.hourly_budget = config_.enforce_budget ? outcome.hourly_budget : 0.0;
+  rec.cost = truth.total_cost;
+  rec.predicted_cost = outcome.allocation.predicted_cost;
+  rec.mode = outcome.mode;
+  rec.site_lambda = outcome.allocation.lambda_vector();
+  rec.site_power_mw.reserve(truth.sites.size());
+  for (const auto& site : truth.sites)
+    rec.site_power_mw.push_back(site.power.total_mw());
+  rec.solve_ms = ms;
+  rec.nodes = outcome.allocation.nodes;
+  return rec;
+}
+
+HourRecord Simulator::run_hour_min_only(std::size_t hour,
+                                        MinOnlyPriceModel price_model) const {
+  const workload::PremiumSplit split(config_.premium_share);
+  const double arrivals = evaluation_.at(hour);
+  const std::vector<double> d = demand_at(hour);
+
+  // Min-Only admits everything it physically can (it knows no budget);
+  // arrivals beyond its believed capacity are shed like any dispatcher
+  // would.
+  const std::vector<SiteModel> believed = min_only_site_models(
+      sites_, policies_, price_model);
+  const double admitted = std::min(arrivals, system_capacity(believed));
+
+  const auto start = std::chrono::steady_clock::now();
+  const AllocationResult allocation =
+      min_only_allocate(sites_, policies_, admitted, price_model,
+                        config_.optimizer);
+  const double ms = elapsed_ms(start);
+  if (!allocation.ok())
+    throw std::runtime_error("Simulator: Min-Only allocation failed at hour " +
+                             std::to_string(hour));
+
+  const GroundTruth truth =
+      evaluate_allocation(sites_, policies_, d, allocation.lambda_vector());
+
+  HourRecord rec;
+  rec.hour = hour;
+  rec.arrivals = arrivals;
+  rec.premium_arrivals = split.premium(arrivals);
+  rec.ordinary_arrivals = split.ordinary(arrivals);
+  // Min-Only serves everything admitted regardless of cost (Section VII-C);
+  // capacity shedding drops ordinary traffic first.
+  rec.served_premium = std::min(rec.premium_arrivals, admitted);
+  rec.served_ordinary =
+      std::min(rec.ordinary_arrivals, admitted - rec.served_premium);
+  rec.cost = truth.total_cost;
+  rec.predicted_cost = allocation.predicted_cost;
+  rec.site_lambda = allocation.lambda_vector();
+  rec.site_power_mw.reserve(truth.sites.size());
+  for (const auto& site : truth.sites)
+    rec.site_power_mw.push_back(site.power.total_mw());
+  rec.solve_ms = ms;
+  rec.nodes = allocation.nodes;
+  return rec;
+}
+
+std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
+  if (months == 0)
+    throw std::invalid_argument("run_months: need at least one month");
+  constexpr std::size_t kMonthHours = 30 * 24;
+  const std::size_t lead = history_.hours();
+  const std::size_t total = lead + months * kMonthHours;
+
+  // Extending the generation window preserves the prefix (same RNG
+  // stream), so month 0 reproduces run()'s evaluation month exactly.
+  const workload::Trace full =
+      workload::generate_wiki_trace(config_.workload, total, config_.seed);
+  const auto full_demand =
+      market::paper_background_demand(total, config_.seed ^ 0x9e3779b9);
+  const workload::PremiumSplit split(config_.premium_share);
+  const BillCapper capper(sites_, policies_, config_.optimizer);
+
+  std::vector<MonthlyResult> results;
+  results.reserve(months);
+  for (std::size_t m = 0; m < months; ++m) {
+    const std::size_t start = lead + m * kMonthHours;
+    const std::span<const double> trailing(full.series().data(), start);
+    const Budgeter budgeter(
+        config_.monthly_budget,
+        workload::hour_of_week_weights(trailing, config_.history_weeks),
+        kMonthHours, util::hour_of_week(start));
+
+    MonthlyResult result;
+    result.strategy = Strategy::kCostCapping;
+    result.monthly_budget = config_.monthly_budget;
+    result.hours.reserve(kMonthHours);
+    double spent = 0.0;
+    for (std::size_t h = 0; h < kMonthHours; ++h) {
+      const std::size_t g = start + h;
+      const double arrivals = full.at(g);
+      const double premium = split.premium(arrivals);
+      const double ordinary = split.ordinary(arrivals);
+      std::vector<double> d;
+      d.reserve(full_demand.size());
+      for (const auto& series : full_demand) d.push_back(series[g]);
+      const double budget = config_.enforce_budget
+                                ? budgeter.hourly_budget(h, spent)
+                                : 1e18;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const CappingOutcome outcome =
+          capper.decide(premium, ordinary, d, budget);
+      const double ms = elapsed_ms(t0);
+      const GroundTruth truth = evaluate_allocation(
+          sites_, policies_, d, outcome.allocation.lambda_vector());
+
+      HourRecord rec;
+      rec.hour = h;
+      rec.arrivals = arrivals;
+      rec.premium_arrivals = premium;
+      rec.ordinary_arrivals = ordinary;
+      rec.served_premium = outcome.served_premium;
+      rec.served_ordinary = outcome.served_ordinary;
+      rec.hourly_budget = config_.enforce_budget ? outcome.hourly_budget : 0.0;
+      rec.cost = truth.total_cost;
+      rec.predicted_cost = outcome.allocation.predicted_cost;
+      rec.mode = outcome.mode;
+      rec.site_lambda = outcome.allocation.lambda_vector();
+      for (const auto& site : truth.sites)
+        rec.site_power_mw.push_back(site.power.total_mw());
+      rec.solve_ms = ms;
+      rec.nodes = outcome.allocation.nodes;
+
+      spent += rec.cost;
+      result.total_cost += rec.cost;
+      result.total_premium_arrivals += rec.premium_arrivals;
+      result.total_ordinary_arrivals += rec.ordinary_arrivals;
+      result.total_served_premium += rec.served_premium;
+      result.total_served_ordinary += rec.served_ordinary;
+      result.max_solve_ms = std::max(result.max_solve_ms, rec.solve_ms);
+      result.hours.push_back(std::move(rec));
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+MonthlyResult Simulator::run(Strategy strategy) const {
+  MonthlyResult result;
+  result.strategy = strategy;
+  result.monthly_budget = config_.monthly_budget;
+  result.hours.reserve(evaluation_.hours());
+
+  const BillCapper capper(sites_, policies_, config_.optimizer);
+  double spent = 0.0;
+  for (std::size_t hour = 0; hour < evaluation_.hours(); ++hour) {
+    HourRecord rec;
+    switch (strategy) {
+      case Strategy::kCostCapping:
+        rec = run_hour_cost_capping(capper, hour, spent);
+        break;
+      case Strategy::kMinOnlyAvg:
+        rec = run_hour_min_only(hour, MinOnlyPriceModel::kAverage);
+        break;
+      case Strategy::kMinOnlyLow:
+        rec = run_hour_min_only(hour, MinOnlyPriceModel::kLow);
+        break;
+    }
+    spent += rec.cost;
+    result.total_cost += rec.cost;
+    result.total_premium_arrivals += rec.premium_arrivals;
+    result.total_ordinary_arrivals += rec.ordinary_arrivals;
+    result.total_served_premium += rec.served_premium;
+    result.total_served_ordinary += rec.served_ordinary;
+    result.max_solve_ms = std::max(result.max_solve_ms, rec.solve_ms);
+    result.hours.push_back(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace billcap::core

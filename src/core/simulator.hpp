@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/bill_capper.hpp"
+#include "core/budgeter.hpp"
+#include "core/cost_model.hpp"
+#include "datacenter/datacenter.hpp"
+#include "market/pricing_policy.hpp"
+#include "workload/trace.hpp"
+#include "workload/wiki_synth.hpp"
+
+namespace billcap::core {
+
+/// Everything needed to reproduce one evaluation month (Section VI): the
+/// three paper data centers, a pricing-policy level, a synthetic two-month
+/// Wikipedia-like trace (first month trains the budgeter), per-site
+/// background demand, the premium/ordinary mix and the monthly budget.
+/// How the budgeter derives its hour-of-week weights.
+enum class BudgetWeighting {
+  kHistory,  ///< trailing-weeks average of the history month (the paper)
+  kUniform,  ///< flat 1/168 — the naive strawman
+  kOracle,   ///< weights from the *evaluation* month itself (perfect
+             ///< prediction upper bound)
+};
+const char* to_string(BudgetWeighting weighting) noexcept;
+
+struct SimulationConfig {
+  std::uint64_t seed = 2012;           ///< master seed (trace + demand)
+  double monthly_budget = 2.5e6;       ///< $ per budgeting period
+  double premium_share = 0.8;          ///< Section VII-C: 80 % premium
+  int policy_level = 1;                ///< paper_policies level 0..3
+  bool enforce_budget = true;          ///< false = step 1 only (Fig. 3/4)
+  std::size_t history_weeks = 2;       ///< budgeter lookback
+  BudgetWeighting budget_weighting = BudgetWeighting::kHistory;
+  /// Seed offset for the budgeter's history trace: nonzero simulates a
+  /// *mispredicted* workload (the history month belongs to a different
+  /// random world than the month actually simulated) — the robustness
+  /// concern of Section IX.
+  std::uint64_t history_seed_offset = 0;
+  workload::WikiSynthParams workload;  ///< trace shape
+  OptimizerOptions optimizer;          ///< MILP knobs / power-model ablation
+};
+
+/// The strategies compared in the evaluation.
+enum class Strategy {
+  kCostCapping,  ///< this paper's two-step algorithm
+  kMinOnlyAvg,   ///< Min-Only with the average-price belief
+  kMinOnlyLow,   ///< Min-Only with the lowest-price belief
+};
+const char* to_string(Strategy strategy) noexcept;
+
+/// Everything recorded about one invocation period.
+struct HourRecord {
+  std::size_t hour = 0;
+  double arrivals = 0.0;
+  double premium_arrivals = 0.0;
+  double ordinary_arrivals = 0.0;
+  double served_premium = 0.0;
+  double served_ordinary = 0.0;
+  double hourly_budget = 0.0;   ///< 0 for the budget-less baselines
+  double cost = 0.0;            ///< ground-truth $ billed this hour
+  double predicted_cost = 0.0;  ///< the optimizer's own belief
+  CappingOutcome::Mode mode = CappingOutcome::Mode::kUncapped;
+  std::vector<double> site_lambda;    ///< requests/hour per site
+  std::vector<double> site_power_mw;  ///< ground-truth draw per site
+  double solve_ms = 0.0;              ///< optimizer wall time
+  long nodes = 0;                     ///< branch-and-bound nodes
+};
+
+/// A full month of records plus the aggregates the figures report.
+struct MonthlyResult {
+  Strategy strategy = Strategy::kCostCapping;
+  double monthly_budget = 0.0;
+  std::vector<HourRecord> hours;
+
+  double total_cost = 0.0;
+  double total_premium_arrivals = 0.0;
+  double total_ordinary_arrivals = 0.0;
+  double total_served_premium = 0.0;
+  double total_served_ordinary = 0.0;
+  double max_solve_ms = 0.0;
+
+  /// Served premium / arriving premium (1.0 = full QoS coverage).
+  double premium_throughput_ratio() const noexcept;
+  /// Served ordinary / arriving ordinary.
+  double ordinary_throughput_ratio() const noexcept;
+  /// Total cost / monthly budget (> 1 means the cap was violated).
+  double budget_utilization() const noexcept;
+};
+
+/// Hour-by-hour closed-loop simulation of the evaluation month: each hour
+/// the strategy allocates the arriving workload, the allocation is billed
+/// at ground truth (integer servers/switches, real step prices), the spend
+/// feeds back into the budgeter, and the records accumulate. Deterministic
+/// in the config seed.
+class Simulator {
+ public:
+  explicit Simulator(SimulationConfig config);
+
+  const SimulationConfig& config() const noexcept { return config_; }
+  const std::vector<datacenter::DataCenter>& sites() const noexcept {
+    return sites_;
+  }
+  const std::vector<market::PricingPolicy>& policies() const noexcept {
+    return policies_;
+  }
+  const workload::Trace& history_trace() const noexcept { return history_; }
+  const workload::Trace& evaluation_trace() const noexcept {
+    return evaluation_;
+  }
+  /// Background demand [site][hour] for the evaluation month.
+  const std::vector<std::vector<double>>& background_demand() const noexcept {
+    return demand_;
+  }
+  const Budgeter& budgeter() const noexcept { return budgeter_; }
+
+  /// Runs the whole month under one strategy.
+  MonthlyResult run(Strategy strategy) const;
+
+  /// Runs `months` consecutive budgeting periods (Section IX's "ongoing
+  /// operation" view): every month receives a fresh monthly budget, and
+  /// the budgeter's hour-of-week weights are re-learned from the months
+  /// that actually happened before it (the configured history month first,
+  /// then realized traffic). The synthetic series is extended seamlessly —
+  /// month 0 equals run()'s month. Cost Capping only.
+  std::vector<MonthlyResult> run_months(std::size_t months) const;
+
+ private:
+  HourRecord run_hour_cost_capping(const BillCapper& capper, std::size_t hour,
+                                   double spent_so_far) const;
+  HourRecord run_hour_min_only(std::size_t hour,
+                               MinOnlyPriceModel price_model) const;
+  std::vector<double> demand_at(std::size_t hour) const;
+
+  SimulationConfig config_;
+  std::vector<datacenter::DataCenter> sites_;
+  std::vector<market::PricingPolicy> policies_;
+  workload::Trace history_;
+  workload::Trace evaluation_;
+  std::vector<std::vector<double>> demand_;  // [site][hour of eval month]
+  Budgeter budgeter_;
+};
+
+}  // namespace billcap::core

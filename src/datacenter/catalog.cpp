@@ -1,0 +1,55 @@
+#include "datacenter/catalog.hpp"
+
+namespace billcap::datacenter {
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+constexpr unsigned kFatTreeK = 108;
+constexpr std::uint64_t kMaxServers = 300'000;
+constexpr double kOperatingUtilization = 0.8;
+
+DataCenterSpec make_site(std::string name, double requests_per_second,
+                         double active_watts, SwitchPowers switches,
+                         double coe, double power_cap_mw) {
+  const double mu = requests_per_second * kSecondsPerHour;
+  DataCenterSpec spec{
+      .name = std::move(name),
+      .queue = {.service_rate = mu, .ca2 = 1.0, .cb2 = 1.0},
+      // Rs = 2 / mu: the waiting-time allowance equals the service time.
+      .response_target_hours = 2.0 / mu,
+      .server = ServerModel::from_active_power(active_watts,
+                                               kOperatingUtilization),
+      .operating_utilization = kOperatingUtilization,
+      .max_servers = kMaxServers,
+      .topology = FatTree(kFatTreeK),
+      .switch_powers = switches,
+      .cooling = CoolingModel(coe),
+      .power_cap_mw = power_cap_mw,
+  };
+  return spec;
+}
+
+}  // namespace
+
+std::vector<DataCenterSpec> paper_datacenter_specs() {
+  std::vector<DataCenterSpec> specs;
+  specs.push_back(make_site("dc1-athlon", 500.0, 88.88,
+                            {.edge_watts = 84, .aggregation_watts = 84, .core_watts = 240},
+                            1.94, 42.0));
+  specs.push_back(make_site("dc2-pentium4", 300.0, 134.0,
+                            {.edge_watts = 70, .aggregation_watts = 70, .core_watts = 260},
+                            1.39, 68.0));
+  specs.push_back(make_site("dc3-pentiumd", 725.0, 149.9,
+                            {.edge_watts = 75, .aggregation_watts = 75, .core_watts = 240},
+                            1.74, 72.0));
+  return specs;
+}
+
+std::vector<DataCenter> paper_datacenters() {
+  std::vector<DataCenter> sites;
+  for (auto& spec : paper_datacenter_specs()) sites.emplace_back(std::move(spec));
+  return sites;
+}
+
+}  // namespace billcap::datacenter

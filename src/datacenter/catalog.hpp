@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "datacenter/datacenter.hpp"
+
+namespace billcap::datacenter {
+
+/// The three simulated sites of Section VI-A. Restored parameter values
+/// (see DESIGN.md section 5 for the OCR notes):
+///
+/// | site | CPU                     | W/server | req/s | switches (e,a,c) | coe  |
+/// |------|-------------------------|----------|-------|------------------|------|
+/// | DC1  | 2.0 GHz AMD Athlon      |  88.88   |  500  | 84,  84, 240     | 1.94 |
+/// | DC2  | 3.2 GHz Pentium 4 630   | 134.0    |  300  | 70,  70, 260     | 1.39 |
+/// | DC3  | 2.9 GHz Pentium D 950   | 149.9    |  725  | 75,  75, 240     | 1.74 |
+///
+/// Each site hosts up to 300,000 servers on a k = 108 fat-tree (314,928
+/// ports) and targets a response time of twice the bare service time; the
+/// supplier power caps Ps are 40 / 60 / 65 MW.
+std::vector<DataCenterSpec> paper_datacenter_specs();
+
+/// Convenience: the specs wrapped in DataCenter instances.
+std::vector<DataCenter> paper_datacenters();
+
+}  // namespace billcap::datacenter

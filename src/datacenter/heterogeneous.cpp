@@ -1,0 +1,160 @@
+#include "datacenter/heterogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace billcap::datacenter {
+
+namespace {
+constexpr double kWattsPerMw = 1e6;
+}
+
+HeterogeneousSite::HeterogeneousSite(std::string name,
+                                     std::vector<ServerPool> pools,
+                                     double response_target_hours,
+                                     FatTree topology,
+                                     SwitchPowers switch_powers,
+                                     CoolingModel cooling, double power_cap_mw)
+    : name_(std::move(name)),
+      pools_(std::move(pools)),
+      response_target_(response_target_hours),
+      topology_(topology),
+      switch_powers_(switch_powers),
+      cooling_(cooling),
+      power_cap_mw_(power_cap_mw) {
+  if (pools_.empty())
+    throw std::invalid_argument("HeterogeneousSite: need at least one pool");
+  std::uint64_t total_servers = 0;
+  for (const ServerPool& pool : pools_) {
+    if (pool.count == 0)
+      throw std::invalid_argument("HeterogeneousSite: empty pool " + pool.name);
+    // Validate each class can meet the response target at all.
+    queueing::server_requirement_coefficients(pool.queue, response_target_);
+    total_servers += pool.count;
+  }
+  if (total_servers > topology_.total_hosts())
+    throw std::invalid_argument(
+        "HeterogeneousSite: fat-tree cannot host all pools");
+  if (!(power_cap_mw_ > 0.0))
+    throw std::invalid_argument("HeterogeneousSite: power cap must be > 0");
+
+  // Cheapest watts-per-request first: the greedy (and optimal) fill order.
+  std::sort(pools_.begin(), pools_.end(),
+            [this](const ServerPool& a, const ServerPool& b) {
+              return pool_slope_mw(a) < pool_slope_mw(b);
+            });
+}
+
+double HeterogeneousSite::pool_slope_mw(const ServerPool& pool) const noexcept {
+  const double per_server_watts =
+      (pool.server.power_watts(pool.operating_utilization) +
+       network_watts_per_server(topology_, switch_powers_)) *
+      cooling_.overhead_factor();
+  return per_server_watts / (pool.queue.service_rate * kWattsPerMw);
+}
+
+double HeterogeneousSite::max_requests_per_hour() const noexcept {
+  double total = 0.0;
+  for (const ServerPool& pool : pools_) {
+    const auto coefs = queueing::server_requirement_coefficients(
+        pool.queue, response_target_);
+    const double head = static_cast<double>(pool.count) - coefs.intercept;
+    total += std::max(0.0, head / coefs.slope);
+  }
+  return total;
+}
+
+std::vector<HeterogeneousSite::PowerSegment>
+HeterogeneousSite::power_segments() const {
+  std::vector<PowerSegment> segments;
+  segments.reserve(pools_.size());
+  for (const ServerPool& pool : pools_) {
+    const auto coefs = queueing::server_requirement_coefficients(
+        pool.queue, response_target_);
+    const double cap = std::max(
+        0.0, (static_cast<double>(pool.count) - coefs.intercept) / coefs.slope);
+    segments.push_back({cap, pool_slope_mw(pool)});
+  }
+  return segments;
+}
+
+double HeterogeneousSite::activation_mw() const noexcept {
+  double total = 0.0;
+  for (const ServerPool& pool : pools_) {
+    const auto coefs = queueing::server_requirement_coefficients(
+        pool.queue, response_target_);
+    const double per_server_watts =
+        (pool.server.power_watts(pool.operating_utilization) +
+         network_watts_per_server(topology_, switch_powers_)) *
+        cooling_.overhead_factor();
+    total += coefs.intercept * per_server_watts / kWattsPerMw;
+  }
+  return total;
+}
+
+HeterogeneousSite::Dispatch HeterogeneousSite::dispatch(
+    double lambda_per_hour) const {
+  if (lambda_per_hour < 0.0)
+    throw std::invalid_argument("HeterogeneousSite: negative load");
+  if (lambda_per_hour > max_requests_per_hour() * (1.0 + 1e-12))
+    throw std::invalid_argument("HeterogeneousSite " + name_ +
+                                ": load exceeds capacity");
+  Dispatch out;
+  out.pool_lambda.assign(pools_.size(), 0.0);
+  out.pool_servers.assign(pools_.size(), 0);
+  if (lambda_per_hour == 0.0) return out;
+
+  double remaining = lambda_per_hour;
+  std::uint64_t active_servers = 0;
+  double server_watts = 0.0;
+  for (std::size_t k = 0; k < pools_.size() && remaining > 0.0; ++k) {
+    const ServerPool& pool = pools_[k];
+    const auto coefs = queueing::server_requirement_coefficients(
+        pool.queue, response_target_);
+    const double cap = std::max(
+        0.0, (static_cast<double>(pool.count) - coefs.intercept) / coefs.slope);
+    const double take = std::min(remaining, cap);
+    if (take <= 0.0) continue;
+    remaining -= take;
+    out.pool_lambda[k] = take;
+    out.pool_servers[k] = queueing::min_servers_for_response_time(
+        pool.queue, take, response_target_);
+    active_servers += out.pool_servers[k];
+    server_watts += static_cast<double>(out.pool_servers[k]) *
+                    pool.server.power_watts(pool.operating_utilization);
+  }
+  if (remaining > 1e-6 * lambda_per_hour)
+    throw std::logic_error("HeterogeneousSite: dispatch left load unassigned");
+
+  out.server_mw = server_watts / kWattsPerMw;
+  out.network_mw =
+      network_power_watts(topology_, switch_powers_, active_servers) /
+      kWattsPerMw;
+  out.cooling_mw =
+      cooling_.power_watts((out.server_mw + out.network_mw) * kWattsPerMw) /
+      kWattsPerMw;
+  return out;
+}
+
+double HeterogeneousSite::power_mw(double lambda_per_hour) const {
+  return dispatch(lambda_per_hour).total_mw();
+}
+
+HeterogeneousSite HeterogeneousSite::from_pools(std::string name,
+                                                std::vector<ServerPool> pools,
+                                                double response_target_hours,
+                                                double power_cap_mw) {
+  std::uint64_t total = 0;
+  for (const auto& pool : pools) total += pool.count;
+  // Smallest even-k fat-tree that hosts every pool.
+  unsigned k = 4;
+  while (static_cast<std::uint64_t>(k) * k * k / 4 < total) k += 2;
+  return HeterogeneousSite(std::move(name), std::move(pools),
+                           response_target_hours, FatTree(k),
+                           SwitchPowers{80.0, 80.0, 250.0}, CoolingModel(1.7),
+                           power_cap_mw);
+}
+
+}  // namespace billcap::datacenter

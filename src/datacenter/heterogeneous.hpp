@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datacenter/cooling.hpp"
+#include "datacenter/fat_tree.hpp"
+#include "datacenter/server.hpp"
+#include "queueing/ggm.hpp"
+
+namespace billcap::datacenter {
+
+/// One homogeneous server class inside a heterogeneous site (Section IX:
+/// "multiple service rates exist due to the heterogeneity in hardware").
+struct ServerPool {
+  std::string name;
+  queueing::GgmParams queue;     ///< per-server service rate (requests/hour)
+  ServerModel server;            ///< power model of this class
+  double operating_utilization = 0.8;
+  std::uint64_t count = 0;       ///< installed servers of this class
+};
+
+/// A data-center site hosting several server generations behind one
+/// dispatcher. The intra-site local optimizer splits the site's arrivals
+/// across classes to minimize power while every class meets the site-wide
+/// response-time set point — the paper's future-work extension, solved
+/// greedily (provably optimal here: per-class power is affine in assigned
+/// load, so cheapest watts-per-request first wins).
+class HeterogeneousSite {
+ public:
+  HeterogeneousSite(std::string name, std::vector<ServerPool> pools,
+                    double response_target_hours, FatTree topology,
+                    SwitchPowers switch_powers, CoolingModel cooling,
+                    double power_cap_mw);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<ServerPool>& pools() const noexcept { return pools_; }
+  double response_target_hours() const noexcept { return response_target_; }
+  double power_cap_mw() const noexcept { return power_cap_mw_; }
+  const CoolingModel& cooling() const noexcept { return cooling_; }
+
+  /// Total requests/hour the site can absorb within the installed servers.
+  double max_requests_per_hour() const noexcept;
+
+  /// The local optimizer's split of `lambda_per_hour` across classes.
+  struct Dispatch {
+    std::vector<double> pool_lambda;          ///< per class, requests/hour
+    std::vector<std::uint64_t> pool_servers;  ///< active servers per class
+    double server_mw = 0.0;
+    double network_mw = 0.0;
+    double cooling_mw = 0.0;
+    double total_mw() const noexcept {
+      return server_mw + network_mw + cooling_mw;
+    }
+  };
+  /// Throws std::invalid_argument beyond max_requests_per_hour().
+  Dispatch dispatch(double lambda_per_hour) const;
+
+  /// Site power (MW) under the optimal split.
+  double power_mw(double lambda_per_hour) const;
+
+  /// The site's continuous power-vs-load curve: a convex piecewise-affine
+  /// function made of one segment per class, ordered cheapest first. The
+  /// MILP embeds these segments directly (a cost-minimizing LP fills them
+  /// in order without needing extra binaries).
+  struct PowerSegment {
+    double lambda_cap = 0.0;           ///< requests/hour this class absorbs
+    double slope_mw_per_request = 0.0; ///< marginal MW per request/hour
+  };
+  std::vector<PowerSegment> power_segments() const;
+
+  /// Fixed activation power (MW): the queueing intercepts of every class
+  /// are conservatively attributed to site activation, matching the
+  /// homogeneous model's treatment.
+  double activation_mw() const noexcept;
+
+  /// Builds a heterogeneous site from a homogeneous spec plus extra pools
+  /// — convenient for upgrading catalog sites in examples/benches.
+  static HeterogeneousSite from_pools(std::string name,
+                                      std::vector<ServerPool> pools,
+                                      double response_target_hours,
+                                      double power_cap_mw);
+
+ private:
+  /// Watts per (request/hour) of one pool, all overheads included.
+  double pool_slope_mw(const ServerPool& pool) const noexcept;
+
+  std::string name_;
+  std::vector<ServerPool> pools_;   // sorted cheapest-per-request first
+  double response_target_;
+  FatTree topology_;
+  SwitchPowers switch_powers_;
+  CoolingModel cooling_;
+  double power_cap_mw_;
+};
+
+}  // namespace billcap::datacenter

@@ -1,0 +1,36 @@
+#include "datacenter/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace billcap::datacenter {
+
+ServerModel::ServerModel(double idle_watts, double peak_watts)
+    : idle_watts_(idle_watts), peak_watts_(peak_watts) {
+  if (idle_watts < 0.0 || peak_watts < idle_watts)
+    throw std::invalid_argument("ServerModel: need 0 <= idle <= peak");
+}
+
+double ServerModel::power_watts(double utilization) const noexcept {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return idle_watts_ + (peak_watts_ - idle_watts_) * u;
+}
+
+ServerModel ServerModel::from_active_power(double active_watts,
+                                           double operating_utilization,
+                                           double idle_fraction) {
+  if (active_watts <= 0.0)
+    throw std::invalid_argument("from_active_power: active_watts must be > 0");
+  if (operating_utilization <= 0.0 || operating_utilization > 1.0)
+    throw std::invalid_argument(
+        "from_active_power: operating_utilization must be in (0, 1]");
+  if (idle_fraction < 0.0 || idle_fraction >= 1.0)
+    throw std::invalid_argument(
+        "from_active_power: idle_fraction must be in [0, 1)");
+  // active = peak * (f + (1 - f) * u)  =>  peak = active / (f + (1 - f) u).
+  const double peak =
+      active_watts / (idle_fraction + (1.0 - idle_fraction) * operating_utilization);
+  return ServerModel(idle_fraction * peak, peak);
+}
+
+}  // namespace billcap::datacenter

@@ -1,0 +1,36 @@
+#pragma once
+
+namespace billcap::datacenter {
+
+/// Linear server power model (Section IV-B): sp = I + D * u, where I is the
+/// idle power, I + D the power at 100 % utilization, and u the utilization.
+/// The paper's local optimizer keeps the minimum number of servers active,
+/// so active servers run close to a fixed operating utilization and the
+/// per-server draw the MILP sees is effectively constant.
+class ServerModel {
+ public:
+  /// `idle_watts` at u = 0 and `peak_watts` at u = 1. Requires
+  /// 0 <= idle <= peak.
+  ServerModel(double idle_watts, double peak_watts);
+
+  /// Power draw (watts) at utilization u in [0, 1] (clamped).
+  double power_watts(double utilization) const noexcept;
+
+  double idle_watts() const noexcept { return idle_watts_; }
+  double peak_watts() const noexcept { return peak_watts_; }
+
+  /// Convenience factory for catalog entries quoted as a single
+  /// "active server" wattage (the paper's 88.88 / 134.0 / 149.9 W figures):
+  /// builds a model whose power at `operating_utilization` equals
+  /// `active_watts`, with idle power a fixed fraction of peak (default 60 %,
+  /// a typical non-energy-proportional server of the era).
+  static ServerModel from_active_power(double active_watts,
+                                       double operating_utilization = 0.8,
+                                       double idle_fraction = 0.6);
+
+ private:
+  double idle_watts_;
+  double peak_watts_;
+};
+
+}  // namespace billcap::datacenter

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lp/problem.hpp"
+
+namespace billcap::lp {
+
+/// Serializes a Problem in the classic CPLEX-LP text format:
+///   Minimize
+///    obj: 2 x + 3 y
+///   Subject To
+///    c1: x + y >= 10
+///   Bounds
+///    0 <= x <= 4
+///   Generals / Binaries
+///    n z
+///   End
+/// Useful for debugging models and for cross-checking against external
+/// solvers. Variable names are sanitized (LP format forbids leading digits
+/// and some punctuation).
+std::string write_lp_format(const Problem& problem);
+
+/// Writes write_lp_format() output to a file; throws on I/O failure.
+void save_lp_format(const Problem& problem, const std::string& path);
+
+/// Parses a (subset of the) CPLEX-LP format produced by write_lp_format:
+/// objective sense + linear objective, "Subject To" rows with <=, >=, =,
+/// a Bounds section, Generals/Binaries sections and End. Round-trips
+/// everything this repository generates. Throws std::runtime_error with a
+/// line number on malformed input.
+Problem parse_lp_format(std::string_view text);
+
+}  // namespace billcap::lp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace billcap::lp {
+
+/// Tuning knobs for branch-and-bound. Defaults comfortably cover the paper's
+/// problems (3 data centers x 5 price levels => ~20 binaries).
+struct MilpOptions {
+  long max_nodes = 200'000;        ///< node limit before kNodeLimit
+  double integrality_tol = 1e-6;   ///< |x - round(x)| treated as integral
+  double relative_gap = 1e-9;      ///< stop when bound and incumbent close
+  double absolute_gap = 1e-9;
+  SimplexOptions lp;               ///< options for each relaxation solve
+};
+
+/// Solves a mixed-integer linear program by LP-based branch-and-bound:
+/// depth-first on a best-bound-ordered stack, branching on the most
+/// fractional integer variable, pruning nodes whose relaxation bound cannot
+/// beat the incumbent.
+///
+/// This plays the role lp_solve plays in the paper (Section IV-C). On
+/// kOptimal the solution is integral within `integrality_tol` (values are
+/// snapped to exact integers), `best_bound` proves optimality within the
+/// gap, and `nodes`/`iterations` report search effort. Duals are not
+/// populated for MILPs.
+Solution solve_milp(const Problem& problem, const MilpOptions& options = {});
+
+}  // namespace billcap::lp

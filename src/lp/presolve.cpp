@@ -1,0 +1,181 @@
+#include "lp/presolve.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace billcap::lp {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<double> PresolveResult::restore(
+    std::span<const double> reduced_x) const {
+  if (reduced_x.size() != kept_vars.size())
+    throw std::invalid_argument("PresolveResult::restore: size mismatch");
+  std::vector<double> x(fixed);
+  for (std::size_t j = 0; j < kept_vars.size(); ++j)
+    x[static_cast<std::size_t>(kept_vars[j])] = reduced_x[j];
+  for (double& v : x) {
+    if (std::isnan(v))
+      throw std::logic_error("PresolveResult::restore: unmapped variable");
+  }
+  return x;
+}
+
+PresolveResult presolve(const Problem& problem, const PresolveOptions& options) {
+  const int n = problem.num_variables();
+  const int m = problem.num_constraints();
+
+  // Working copies of bounds, updated by singleton rows and fixing.
+  std::vector<double> lower(static_cast<std::size_t>(n));
+  std::vector<double> upper(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    lower[static_cast<std::size_t>(j)] = problem.variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = problem.variable(j).upper;
+  }
+
+  PresolveResult result;
+  result.fixed.assign(static_cast<std::size_t>(n), kNan);
+
+  std::vector<bool> drop_row(static_cast<std::size_t>(m), false);
+
+  // Pass 1: singleton rows tighten bounds and are dropped.
+  if (options.tighten_singleton_rows) {
+    for (int i = 0; i < m; ++i) {
+      const Constraint& c = problem.constraint(i);
+      // Aggregate duplicate terms defensively.
+      int var = -1;
+      double coef = 0.0;
+      bool singleton = true;
+      for (const Term& t : c.terms) {
+        if (t.coef == 0.0) continue;
+        if (var == -1 || var == t.var) {
+          var = t.var;
+          coef += t.coef;
+        } else {
+          singleton = false;
+          break;
+        }
+      }
+      if (!singleton || var < 0) continue;
+      if (coef == 0.0) {
+        // 0 <rel> rhs: feasibility check only.
+        const bool ok =
+            (c.relation == Relation::kLessEqual && 0.0 <= c.rhs + options.tol) ||
+            (c.relation == Relation::kGreaterEqual && 0.0 >= c.rhs - options.tol) ||
+            (c.relation == Relation::kEqual && std::abs(c.rhs) <= options.tol);
+        if (!ok) {
+          result.infeasible = true;
+          return result;
+        }
+        drop_row[static_cast<std::size_t>(i)] = true;
+        ++result.removed_constraints;
+        continue;
+      }
+      const double bound = c.rhs / coef;
+      auto& lo = lower[static_cast<std::size_t>(var)];
+      auto& hi = upper[static_cast<std::size_t>(var)];
+      const bool upper_bound =
+          (c.relation == Relation::kLessEqual) == (coef > 0.0);
+      switch (c.relation) {
+        case Relation::kEqual:
+          if (bound > lo + options.tol) { lo = bound; ++result.tightened_bounds; }
+          if (bound < hi - options.tol) { hi = bound; ++result.tightened_bounds; }
+          break;
+        case Relation::kLessEqual:
+        case Relation::kGreaterEqual:
+          if (upper_bound) {
+            if (bound < hi - options.tol) { hi = bound; ++result.tightened_bounds; }
+          } else {
+            if (bound > lo + options.tol) { lo = bound; ++result.tightened_bounds; }
+          }
+          break;
+      }
+      drop_row[static_cast<std::size_t>(i)] = true;
+      ++result.removed_constraints;
+    }
+  }
+
+  // Crossed bounds => infeasible. Integer variables: round bounds inward.
+  for (int j = 0; j < n; ++j) {
+    auto& lo = lower[static_cast<std::size_t>(j)];
+    auto& hi = upper[static_cast<std::size_t>(j)];
+    if (problem.variable(j).is_integer) {
+      if (std::isfinite(lo)) lo = std::ceil(lo - options.tol);
+      if (std::isfinite(hi)) hi = std::floor(hi + options.tol);
+    }
+    if (lo > hi + options.tol) {
+      result.infeasible = true;
+      return result;
+    }
+    if (lo > hi) hi = lo;  // snap the tiny residual
+  }
+
+  // Pass 2: decide which variables survive.
+  std::vector<int> new_index(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    const bool fixed =
+        options.remove_fixed_variables &&
+        std::isfinite(lower[static_cast<std::size_t>(j)]) &&
+        upper[static_cast<std::size_t>(j)] - lower[static_cast<std::size_t>(j)] <= options.tol;
+    if (fixed) {
+      result.fixed[static_cast<std::size_t>(j)] = lower[static_cast<std::size_t>(j)];
+      ++result.removed_variables;
+    } else {
+      new_index[static_cast<std::size_t>(j)] =
+          static_cast<int>(result.kept_vars.size());
+      result.kept_vars.push_back(j);
+    }
+  }
+
+  // Build the reduced problem.
+  result.reduced.set_sense(problem.sense());
+  double constant = problem.objective_constant();
+  for (int j : result.kept_vars) {
+    const Variable& v = problem.variable(j);
+    result.reduced.add_variable(v.name, lower[static_cast<std::size_t>(j)],
+                                upper[static_cast<std::size_t>(j)], v.objective,
+                                v.is_integer);
+  }
+  for (int j = 0; j < n; ++j) {
+    if (!std::isnan(result.fixed[static_cast<std::size_t>(j)]))
+      constant += problem.variable(j).objective *
+                  result.fixed[static_cast<std::size_t>(j)];
+  }
+  result.reduced.set_objective_constant(constant);
+
+  for (int i = 0; i < m; ++i) {
+    if (drop_row[static_cast<std::size_t>(i)]) continue;
+    const Constraint& c = problem.constraint(i);
+    std::vector<Term> terms;
+    double rhs = c.rhs;
+    for (const Term& t : c.terms) {
+      const double fixed_value = result.fixed[static_cast<std::size_t>(t.var)];
+      if (!std::isnan(fixed_value)) {
+        rhs -= t.coef * fixed_value;
+      } else {
+        terms.push_back({new_index[static_cast<std::size_t>(t.var)], t.coef});
+      }
+    }
+    if (terms.empty()) {
+      const bool ok =
+          (c.relation == Relation::kLessEqual && 0.0 <= rhs + options.tol) ||
+          (c.relation == Relation::kGreaterEqual && 0.0 >= rhs - options.tol) ||
+          (c.relation == Relation::kEqual && std::abs(rhs) <= options.tol);
+      if (!ok) {
+        result.infeasible = true;
+        return result;
+      }
+      if (options.remove_empty_constraints) {
+        ++result.removed_constraints;
+        continue;
+      }
+    }
+    result.reduced.add_constraint(c.name, std::move(terms), c.relation, rhs);
+  }
+  return result;
+}
+
+}  // namespace billcap::lp

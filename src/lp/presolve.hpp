@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace billcap::lp {
+
+/// Result of a presolve pass.
+struct PresolveResult {
+  Problem reduced;               ///< the simplified problem
+  std::vector<int> kept_vars;    ///< reduced var j came from original kept_vars[j]
+  std::vector<double> fixed;     ///< per-original-variable value if fixed, NaN otherwise
+  int removed_variables = 0;
+  int removed_constraints = 0;
+  int tightened_bounds = 0;
+  bool infeasible = false;       ///< detected trivially infeasible
+
+  /// Lifts a solution of the reduced problem back to the original space.
+  std::vector<double> restore(std::span<const double> reduced_x) const;
+};
+
+/// Options for presolve.
+struct PresolveOptions {
+  bool remove_fixed_variables = true;
+  bool remove_empty_constraints = true;
+  bool tighten_singleton_rows = true;  ///< a_j x_j <rel> b -> bound update
+  double tol = 1e-9;
+};
+
+/// A lightweight presolver for the MILPs this repository generates:
+///  * singleton rows (one nonzero) become variable bounds;
+///  * variables whose bounds coincide are substituted out;
+///  * constraints with no remaining variables are checked and dropped;
+///  * trivial infeasibility (empty row with violated rhs, crossed bounds)
+///    is detected.
+/// The returned mapping restores original-space solutions; objective values
+/// are preserved exactly (fixed variables' contributions move into the
+/// objective constant).
+PresolveResult presolve(const Problem& problem,
+                        const PresolveOptions& options = {});
+
+}  // namespace billcap::lp

@@ -1,0 +1,66 @@
+#include "market/background_demand.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/calendar.hpp"
+#include "util/rng.hpp"
+
+namespace billcap::market {
+
+std::vector<double> generate_background_demand(
+    const BackgroundDemandParams& params, std::size_t hours,
+    std::uint64_t seed) {
+  if (params.base_mw <= 0.0 || params.diurnal_amplitude_mw < 0.0)
+    throw std::invalid_argument("generate_background_demand: bad levels");
+  if (params.weekend_drop < 0.0 || params.weekend_drop >= 1.0)
+    throw std::invalid_argument(
+        "generate_background_demand: weekend_drop in [0,1) required");
+
+  util::Rng rng(seed);
+  std::vector<double> demand;
+  demand.reserve(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double hour =
+        static_cast<double>(util::hour_of_day(h));
+    // Diurnal shape: a cosine dipping overnight, peaking at peak_hour.
+    const double phase =
+        2.0 * std::numbers::pi * (hour - params.peak_hour) / 24.0;
+    const double diurnal =
+        params.diurnal_amplitude_mw * 0.5 * (1.0 + std::cos(phase));
+    double level = params.base_mw + diurnal;
+    if (util::is_weekend(h)) level *= 1.0 - params.weekend_drop;
+    level *= rng.lognormal(0.0, params.noise_sigma);
+    demand.push_back(level);
+  }
+  return demand;
+}
+
+std::vector<BackgroundDemandParams> paper_background_params() {
+  // Calibrated so that each location idles one price level below a
+  // threshold at night and crosses one to two thresholds during the day
+  // even before the data center's own draw is added.
+  // Location B carries the heaviest non-data-center load (its price steps
+  // bite first), D the lightest — the asymmetry that makes naive
+  // lowest-price beliefs costly.
+  return {
+      {.base_mw = 228.0, .diurnal_amplitude_mw = 50.0, .weekend_drop = 0.10,
+       .noise_sigma = 0.015, .peak_hour = 15.0},
+      {.base_mw = 182.0, .diurnal_amplitude_mw = 70.0, .weekend_drop = 0.14,
+       .noise_sigma = 0.020, .peak_hour = 16.0},
+      {.base_mw = 172.0, .diurnal_amplitude_mw = 55.0, .weekend_drop = 0.12,
+       .noise_sigma = 0.018, .peak_hour = 14.0},
+  };
+}
+
+std::vector<std::vector<double>> paper_background_demand(std::size_t hours,
+                                                         std::uint64_t seed) {
+  util::Rng root(seed);
+  std::vector<std::vector<double>> series;
+  for (const auto& params : paper_background_params())
+    series.push_back(generate_background_demand(params, hours, root()));
+  return series;
+}
+
+}  // namespace billcap::market

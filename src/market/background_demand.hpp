@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace billcap::market {
+
+/// Shape parameters for one location's synthetic background demand — the
+/// power drawn by all consumers *other than* the data center in the same
+/// ISO region (the paper uses the Rockland Electric / PJM June 2005 trace
+/// [27]; we synthesize a series with the same structure, see DESIGN.md).
+struct BackgroundDemandParams {
+  double base_mw = 170.0;        ///< overnight floor
+  double diurnal_amplitude_mw = 45.0;  ///< day/night swing
+  double weekend_drop = 0.12;    ///< fractional reduction on Sat/Sun
+  double noise_sigma = 0.015;    ///< lognormal hour-to-hour jitter
+  double peak_hour = 15.0;       ///< local hour of the daily maximum
+};
+
+/// Generates `hours` of hourly background demand (MW) with a diurnal double
+/// shoulder, weekly weekday/weekend structure, and multiplicative noise.
+/// Deterministic in `seed`.
+std::vector<double> generate_background_demand(
+    const BackgroundDemandParams& params, std::size_t hours,
+    std::uint64_t seed);
+
+/// Per-site parameters used by the evaluation: three locations whose demand
+/// levels sit near the 200-300 MW price-step thresholds of the canonical
+/// policies, so the data centers' tens of MW genuinely move the price level
+/// (the price-maker effect the paper models).
+std::vector<BackgroundDemandParams> paper_background_params();
+
+/// Convenience: one demand series per paper location, split-seeded.
+std::vector<std::vector<double>> paper_background_demand(std::size_t hours,
+                                                         std::uint64_t seed);
+
+}  // namespace billcap::market

@@ -1,0 +1,39 @@
+#include "market/pjm5.hpp"
+
+namespace billcap::market {
+
+Grid pjm5_grid() {
+  Grid grid;
+  const int a = grid.add_bus("A");
+  const int b = grid.add_bus("B");
+  const int c = grid.add_bus("C");
+  const int d = grid.add_bus("D");
+  const int e = grid.add_bus("E");
+
+  // Reactances (p.u.) from the canonical five-bus data; only the E-D line
+  // carries a binding 240 MW thermal limit in the base case.
+  grid.add_line("A-B", a, b, 0.0281);
+  grid.add_line("A-D", a, d, 0.0304);
+  grid.add_line("A-E", a, e, 0.0064);
+  grid.add_line("B-C", b, c, 0.0108);
+  grid.add_line("C-D", c, d, 0.0297);
+  grid.add_line("D-E", d, e, 0.0297, 240.0);
+
+  grid.add_generator("Alta", a, 110.0, 14.0);
+  grid.add_generator("ParkCity", a, 100.0, 15.0);
+  grid.add_generator("Solitude", c, 520.0, 30.0);
+  grid.add_generator("Sundance", d, 200.0, 35.0);
+  grid.add_generator("Brighton", e, 600.0, 10.0);
+  return grid;
+}
+
+std::vector<int> pjm5_load_buses() { return {1, 2, 3}; }
+
+std::vector<double> pjm5_loads(double system_load_mw) {
+  std::vector<double> loads(5, 0.0);
+  const double share = system_load_mw / 3.0;
+  for (int bus : pjm5_load_buses()) loads[static_cast<std::size_t>(bus)] = share;
+  return loads;
+}
+
+}  // namespace billcap::market

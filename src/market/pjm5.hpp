@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "market/grid.hpp"
+
+namespace billcap::market {
+
+/// The PJM five-bus test system (Li & Bo [6], [13]) the paper derives its
+/// locational pricing policies from (Figure 1): buses A..E; five generators
+/// — Alta and Park City at A, Solitude at C, Sundance at D, Brighton at E —
+/// and three uniformly-loaded consumers at B, C and D. Brighton is the
+/// cheap 600 MW unit whose capacity limit causes the first LMP step as
+/// system load grows; the 240 MW E-D line limit causes the next.
+Grid pjm5_grid();
+
+/// Bus indices of the three load locations B, C, D in pjm5_grid().
+std::vector<int> pjm5_load_buses();
+
+/// Per-bus load vector for a given total system load, uniformly distributed
+/// over the three consumers (Section II).
+std::vector<double> pjm5_loads(double system_load_mw);
+
+}  // namespace billcap::market

@@ -1,0 +1,57 @@
+#include "market/policy_derivation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "market/dcopf.hpp"
+
+namespace billcap::market {
+
+std::vector<PricingPolicy> derive_policies_from_opf(
+    const Grid& grid, const std::vector<int>& load_buses,
+    double max_system_load_mw, double step_mw, double price_tol) {
+  if (load_buses.empty())
+    throw std::invalid_argument("derive_policies_from_opf: no load buses");
+  if (!(step_mw > 0.0) || !(max_system_load_mw > 0.0))
+    throw std::invalid_argument("derive_policies_from_opf: bad sweep range");
+
+  const double share = 1.0 / static_cast<double>(load_buses.size());
+
+  // LMP series per load bus over the sweep.
+  std::vector<std::vector<double>> lmp_series(load_buses.size());
+  std::vector<double> local_loads;
+  for (double system_load = step_mw; system_load <= max_system_load_mw + 1e-9;
+       system_load += step_mw) {
+    std::vector<double> loads(static_cast<std::size_t>(grid.num_buses()), 0.0);
+    for (int bus : load_buses)
+      loads[static_cast<std::size_t>(bus)] = system_load * share;
+    const DcOpfResult opf = solve_dcopf(grid, loads);
+    if (!opf.ok())
+      throw std::runtime_error(
+          "derive_policies_from_opf: OPF infeasible at system load " +
+          std::to_string(system_load) + " MW");
+    local_loads.push_back(system_load * share);
+    for (std::size_t i = 0; i < load_buses.size(); ++i)
+      lmp_series[i].push_back(
+          opf.lmp[static_cast<std::size_t>(load_buses[i])]);
+  }
+
+  // Collapse each series into a step policy over the bus's local load.
+  std::vector<PricingPolicy> policies;
+  policies.reserve(load_buses.size());
+  for (const auto& series : lmp_series) {
+    std::vector<double> thresholds = {0.0};
+    std::vector<double> prices = {series.front()};
+    for (std::size_t t = 1; t < series.size(); ++t) {
+      if (std::abs(series[t] - prices.back()) > price_tol) {
+        thresholds.push_back(local_loads[t]);
+        prices.push_back(series[t]);
+      }
+    }
+    policies.emplace_back(std::move(thresholds), std::move(prices));
+  }
+  return policies;
+}
+
+}  // namespace billcap::market

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "market/grid.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::market {
+
+/// Derives locational step pricing policies from first principles: sweeps
+/// the total system load from ~0 to `max_system_load_mw` in `step_mw`
+/// increments (load uniformly distributed over `load_buses`), solves the DC
+/// optimal power flow at each point, and converts each load bus's
+/// LMP-vs-local-load curve into a step PricingPolicy. Consecutive sweep
+/// points whose LMP differs by less than `price_tol` $/MWh are merged into
+/// one level.
+///
+/// This reproduces how Figure 1 was constructed from the PJM five-bus
+/// system: price levels appear exactly where a generator or line constraint
+/// becomes binding. Throws std::runtime_error if the OPF is infeasible
+/// anywhere in the sweep (load beyond generation capacity).
+std::vector<PricingPolicy> derive_policies_from_opf(
+    const Grid& grid, const std::vector<int>& load_buses,
+    double max_system_load_mw, double step_mw = 2.0, double price_tol = 0.05);
+
+}  // namespace billcap::market

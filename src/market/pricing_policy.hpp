@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/piecewise.hpp"
+
+namespace billcap::market {
+
+/// A locational step pricing policy (Section II): the electricity price in
+/// $/MWh is a step function of the *total* power consumption P at the
+/// location,
+///   price(P) = prices[k]   for   thresholds[k] <= P < thresholds[k+1],
+/// with thresholds[0] == 0 and the last level unbounded. Step changes
+/// happen when an additional generation or transmission constraint becomes
+/// binding under the LMP methodology [6], [13].
+class PricingPolicy {
+ public:
+  /// `thresholds` must start at 0 and increase strictly; `prices` has the
+  /// same length (price level k starts at thresholds[k]).
+  PricingPolicy(std::vector<double> thresholds_mw,
+                std::vector<double> prices_per_mwh);
+
+  /// A single-level policy: the price-taker world of the Min-Only baseline.
+  static PricingPolicy flat(double price_per_mwh);
+
+  std::size_t num_levels() const noexcept { return prices_.size(); }
+  const std::vector<double>& thresholds_mw() const noexcept {
+    return thresholds_;
+  }
+  const std::vector<double>& prices_per_mwh() const noexcept {
+    return prices_;
+  }
+
+  /// Price at a total locational consumption (MW).
+  double price_at(double total_load_mw) const noexcept;
+
+  /// Hourly cost ($) for a data center drawing `dc_power_mw` while other
+  /// consumers in the same ISO region draw `other_demand_mw`: the price
+  /// level is set by the total, the data center pays for its own energy
+  /// (1 h invocation period makes MW numerically MWh).
+  double cost_for(double dc_power_mw, double other_demand_mw) const noexcept;
+
+  /// Average of the level prices — the constant price Min-Only (Avg)
+  /// believes in.
+  double average_price() const noexcept;
+
+  /// Lowest level price — the constant price Min-Only (Low) believes in.
+  double min_price() const noexcept;
+
+  /// The data-center cost curve cost(p) = price(p + d) * p as a
+  /// piecewise-affine function of the data center's own draw p in
+  /// [0, dc_power_cap_mw], given the other consumers' demand d. This is the
+  /// object the MILP linearization consumes.
+  lp::PiecewiseAffine dc_cost_curve(double other_demand_mw,
+                                    double dc_power_cap_mw) const;
+
+  /// Derives the policy with every price increase over the base level
+  /// multiplied by `factor` — the construction of the paper's Policies 2
+  /// and 3 (doubling / tripling the increase of Policy 1).
+  PricingPolicy scale_increases(double factor) const;
+
+  /// "name: 10.00/13.90/... @ 0/200/..." debug string.
+  std::string to_string() const;
+
+ private:
+  std::vector<double> thresholds_;
+  std::vector<double> prices_;
+};
+
+/// The canonical per-site policies of the evaluation (Section VII-A):
+/// `level` 0 is the flat price-taker policy (per-site average of Policy 1),
+/// 1 is the PJM-five-bus-derived locational policy, 2 and 3 double/triple
+/// the price increases of 1. Returns one policy per paper data center
+/// (DC1..DC3). Throws for levels outside 0..3.
+std::vector<PricingPolicy> paper_policies(int level);
+
+}  // namespace billcap::market

@@ -1,0 +1,17 @@
+#include "util/calendar.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace billcap::util {
+
+std::string hour_label(std::size_t hour_index) {
+  static constexpr std::array<const char*, 7> kDays = {
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%02zu h%02zu (%s)", day_index(hour_index),
+                hour_of_day(hour_index), kDays[day_of_week(hour_index)]);
+  return buf;
+}
+
+}  // namespace billcap::util

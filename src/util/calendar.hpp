@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace billcap::util {
+
+/// Calendar helpers for hourly series. The simulation clock is a plain hour
+/// index; these helpers map it onto days / weeks the way the paper's
+/// budgeter does (hour-of-week history, weekly carry-over).
+inline constexpr std::size_t kHoursPerDay = 24;
+inline constexpr std::size_t kHoursPerWeek = 7 * kHoursPerDay;
+
+/// Hour within the day, [0, 24).
+constexpr std::size_t hour_of_day(std::size_t hour_index) noexcept {
+  return hour_index % kHoursPerDay;
+}
+
+/// Day index since the start of the series.
+constexpr std::size_t day_index(std::size_t hour_index) noexcept {
+  return hour_index / kHoursPerDay;
+}
+
+/// Day within the week, [0, 7).
+constexpr std::size_t day_of_week(std::size_t hour_index) noexcept {
+  return day_index(hour_index) % 7;
+}
+
+/// Hour within the week, [0, 168).
+constexpr std::size_t hour_of_week(std::size_t hour_index) noexcept {
+  return hour_index % kHoursPerWeek;
+}
+
+/// Week index since the start of the series.
+constexpr std::size_t week_index(std::size_t hour_index) noexcept {
+  return hour_index / kHoursPerWeek;
+}
+
+/// True for Saturday/Sunday under the convention that hour 0 is Monday 00:00.
+constexpr bool is_weekend(std::size_t hour_index) noexcept {
+  return day_of_week(hour_index) >= 5;
+}
+
+/// "d03 h14 (Thu)"-style label for bench output.
+std::string hour_label(std::size_t hour_index);
+
+}  // namespace billcap::util

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace billcap::util {
+
+/// Minimal command-line parser for the repository's tools:
+///   prog <command> [--flag value] [--flag=value] [--switch] [positional...]
+/// Unknown flags are collected rather than rejected so callers can decide;
+/// values are typed on access with defaults.
+class CliArgs {
+ public:
+  /// Parses argv (argv[0] is skipped). The first non-flag token becomes the
+  /// command; later non-flag tokens are positionals.
+  CliArgs(int argc, const char* const* argv);
+
+  const std::string& command() const noexcept { return command_; }
+  const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// True if the flag was given (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Typed access with defaults. Throws std::runtime_error when the flag is
+  /// present but not parseable as the requested type.
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  double get_double(const std::string& name, double fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Comma-separated list of doubles ("0.5e6,1e6,2e6").
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> flags_;  // name (no dashes) -> value
+};
+
+}  // namespace billcap::util

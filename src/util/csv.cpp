@@ -1,0 +1,171 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace billcap::util {
+
+namespace {
+
+bool needs_quoting(std::string_view cell) {
+  return cell.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view cell) {
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double x) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), x);
+  return std::string(buf, res.ptr);
+}
+
+Csv::Csv(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Csv::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Csv::add_row: width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Csv::add_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v));
+  add_row(std::move(cells));
+}
+
+const std::string& Csv::cell(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+double Csv::cell_as_double(std::size_t row, std::size_t col) const {
+  const std::string& s = cell(row, col);
+  double value = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (res.ec != std::errc{})
+    throw std::runtime_error("Csv: cell is not numeric: " + s);
+  return value;
+}
+
+std::size_t Csv::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    if (header_[i] == name) return i;
+  throw std::out_of_range("Csv: no such column: " + std::string(name));
+}
+
+std::vector<double> Csv::column_as_doubles(std::string_view name) const {
+  const std::size_t col = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r)
+    out.push_back(cell_as_double(r, col));
+  return out;
+}
+
+std::string Csv::to_string() const {
+  std::ostringstream os;
+  auto emit_row = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << (needs_quoting(cells[i]) ? quote(cells[i]) : cells[i]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Csv::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Csv::save: cannot open " + path);
+  out << to_string();
+  if (!out) throw std::runtime_error("Csv::save: write failed: " + path);
+}
+
+Csv Csv::parse(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_cell = [&] {
+    record.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_record = [&] {
+    if (row_has_content || !record.empty() || !cell.empty()) {
+      end_cell();
+      records.push_back(std::move(record));
+      record.clear();
+    }
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_record();
+        break;
+      default:
+        cell.push_back(c);
+        row_has_content = true;
+    }
+  }
+  end_record();
+
+  if (records.empty()) throw std::runtime_error("Csv::parse: empty document");
+  Csv doc(std::move(records.front()));
+  for (std::size_t r = 1; r < records.size(); ++r)
+    doc.add_row(std::move(records[r]));
+  return doc;
+}
+
+Csv Csv::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Csv::load: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace billcap::util

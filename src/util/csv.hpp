@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace billcap::util {
+
+/// Minimal CSV document: a header row plus numeric/text cells. The benches
+/// write their series as CSV so results can be plotted,
+/// and tests read fixture traces through the same code path.
+class Csv {
+ public:
+  Csv() = default;
+
+  /// Creates an empty document with the given column names.
+  explicit Csv(std::vector<std::string> header);
+
+  /// Appends a row of preformatted cells. Must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row of doubles, formatted with enough digits to round-trip.
+  void add_numeric_row(const std::vector<double>& values);
+
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return header_.size(); }
+
+  /// Cell accessors; throw std::out_of_range on bad indices.
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  double cell_as_double(std::size_t row, std::size_t col) const;
+
+  /// Index of a named column; throws std::out_of_range if absent.
+  std::size_t column_index(std::string_view name) const;
+
+  /// Whole column parsed as doubles.
+  std::vector<double> column_as_doubles(std::string_view name) const;
+
+  /// Serializes to RFC-4180-ish CSV (quotes cells containing separators).
+  std::string to_string() const;
+
+  /// Writes to a file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Parses CSV text (first row is the header). Handles quoted cells.
+  static Csv parse(std::string_view text);
+
+  /// Loads and parses a file; throws std::runtime_error on I/O failure.
+  static Csv load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly but losslessly (shortest round-trip form).
+std::string format_double(double x);
+
+}  // namespace billcap::util

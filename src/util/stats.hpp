@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace billcap::util {
+
+/// Streaming summary statistics (Welford's online algorithm). Numerically
+/// stable for long series such as a month of hourly costs.
+class RunningStats {
+ public:
+  /// Incorporates one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const noexcept;
+  /// Square root of variance().
+  double stddev() const noexcept;
+  /// Smallest observation; +inf when empty.
+  double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Sum of a series.
+double sum(std::span<const double> xs) noexcept;
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Linearly-interpolated quantile, q in [0, 1]. Copies and sorts; intended
+/// for reporting, not hot loops. Returns 0 for an empty span.
+double quantile(std::span<const double> xs, double q);
+
+/// Squared coefficient of variation (variance / mean^2) of a series; this is
+/// the C_A^2 / C_B^2 statistic of the Allen-Cunneen formula. Returns 0 when
+/// the mean is 0 or there are fewer than two observations.
+double squared_cv(std::span<const double> xs) noexcept;
+
+/// Element-wise relative error |a-b| / max(|b|, eps), useful in tests
+/// comparing measured series against expected shapes.
+std::vector<double> relative_error(std::span<const double> a,
+                                   std::span<const double> b,
+                                   double eps = 1e-12);
+
+}  // namespace billcap::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace billcap::util {
+
+/// Right-padded ASCII table for bench/example output. The figure benches use
+/// this to print the paper's series as aligned rows on stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row of preformatted cells (must match header width).
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row where every value is formatted with `precision` digits
+  /// after the decimal point.
+  void add_numeric_row(const std::vector<double>& values, int precision = 3);
+
+  /// Renders the table with a separator rule under the header.
+  std::string to_string() const;
+
+  /// Streams to_string() to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helper shared by tables and benches.
+std::string format_fixed(double x, int precision);
+
+}  // namespace billcap::util

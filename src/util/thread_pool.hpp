@@ -1,0 +1,68 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace billcap::util {
+
+/// Fixed-size worker pool. The sweep benches (pricing policies, monthly
+/// budgets) and the Monte-Carlo property tests run independent month-long
+/// simulations through this pool; on a single-core host it degrades
+/// gracefully to near-serial execution.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on the pool, blocking until all complete.
+/// Exceptions from tasks are rethrown (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience overload using a process-wide shared pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// The lazily-created process-wide pool used by the convenience overload.
+ThreadPool& shared_pool();
+
+}  // namespace billcap::util

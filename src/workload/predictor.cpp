@@ -1,0 +1,76 @@
+#include "workload/predictor.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace billcap::workload {
+
+std::vector<double> hour_of_week_weights(std::span<const double> history,
+                                         std::size_t weeks) {
+  if (weeks == 0)
+    throw std::invalid_argument("hour_of_week_weights: weeks must be >= 1");
+  const std::size_t full_weeks =
+      std::min(weeks, history.size() / util::kHoursPerWeek);
+  if (full_weeks == 0) {
+    return std::vector<double>(util::kHoursPerWeek,
+                               1.0 / static_cast<double>(util::kHoursPerWeek));
+  }
+
+  // Use the most recent `full_weeks` complete weeks, aligned so that the
+  // hour-of-week phase is preserved.
+  std::vector<double> sums(util::kHoursPerWeek, 0.0);
+  const std::size_t used_hours = full_weeks * util::kHoursPerWeek;
+  const std::size_t start = history.size() - used_hours;
+  for (std::size_t i = 0; i < used_hours; ++i) {
+    const std::size_t absolute_hour = start + i;
+    sums[util::hour_of_week(absolute_hour)] += history[absolute_hour];
+  }
+
+  const double total = std::accumulate(sums.begin(), sums.end(), 0.0);
+  if (total <= 0.0) {
+    return std::vector<double>(util::kHoursPerWeek,
+                               1.0 / static_cast<double>(util::kHoursPerWeek));
+  }
+  for (double& s : sums) s /= total;
+  return sums;
+}
+
+HistoryPredictor::HistoryPredictor(std::size_t weeks) : weeks_(weeks) {
+  if (weeks == 0)
+    throw std::invalid_argument("HistoryPredictor: weeks must be >= 1");
+}
+
+void HistoryPredictor::observe(double arrivals_per_hour) {
+  if (arrivals_per_hour < 0.0)
+    throw std::invalid_argument("HistoryPredictor: negative arrivals");
+  history_.push_back(arrivals_per_hour);
+}
+
+void HistoryPredictor::observe_all(std::span<const double> series) {
+  for (double a : series) observe(a);
+}
+
+double HistoryPredictor::weight(std::size_t hour_of_week) const {
+  if (hour_of_week >= util::kHoursPerWeek)
+    throw std::out_of_range("HistoryPredictor::weight: hour_of_week >= 168");
+  return hour_of_week_weights(history_, weeks_)[hour_of_week];
+}
+
+std::vector<double> HistoryPredictor::weights() const {
+  return hour_of_week_weights(history_, weeks_);
+}
+
+double HistoryPredictor::predict_rate(std::size_t hour_of_week) const {
+  if (hour_of_week >= util::kHoursPerWeek)
+    throw std::out_of_range("HistoryPredictor::predict_rate: bad hour");
+  if (history_.empty()) return 0.0;
+  const double mean_rate =
+      std::accumulate(history_.begin(), history_.end(), 0.0) /
+      static_cast<double>(history_.size());
+  if (!has_full_week()) return mean_rate;
+  // weight * 168 is the slot's rate relative to the weekly mean.
+  return weight(hour_of_week) * static_cast<double>(util::kHoursPerWeek) *
+         mean_rate;
+}
+
+}  // namespace billcap::workload

@@ -1,0 +1,70 @@
+#include "workload/trace_stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/calendar.hpp"
+#include "util/stats.hpp"
+
+namespace billcap::workload {
+
+std::vector<double> weekly_profile(const Trace& trace,
+                                   std::size_t phase_offset_hours) {
+  std::vector<double> sums(util::kHoursPerWeek, 0.0);
+  std::vector<std::size_t> counts(util::kHoursPerWeek, 0);
+  for (std::size_t h = 0; h < trace.hours(); ++h) {
+    const std::size_t slot = util::hour_of_week(phase_offset_hours + h);
+    sums[slot] += trace.at(h);
+    ++counts[slot];
+  }
+  const double overall = trace.mean();
+  std::vector<double> profile(util::kHoursPerWeek, overall);
+  for (std::size_t s = 0; s < util::kHoursPerWeek; ++s)
+    if (counts[s] > 0) profile[s] = sums[s] / static_cast<double>(counts[s]);
+  return profile;
+}
+
+TraceStats analyze_trace(const Trace& trace,
+                         const TraceStatsOptions& options) {
+  if (trace.empty())
+    throw std::invalid_argument("analyze_trace: empty trace");
+  if (options.spike_threshold <= 1.0)
+    throw std::invalid_argument("analyze_trace: spike_threshold must exceed 1");
+
+  TraceStats stats;
+  util::RunningStats overall;
+  for (double x : trace.series()) overall.add(x);
+  stats.mean = overall.mean();
+  stats.peak = overall.max();
+  stats.trough = overall.min();
+  stats.peak_to_mean = stats.mean > 0.0 ? stats.peak / stats.mean : 0.0;
+  stats.hourly_cv2 = util::squared_cv(trace.series());
+
+  const std::vector<double> profile =
+      weekly_profile(trace, options.phase_offset_hours);
+
+  // Variance decomposition: share explained by the weekly profile.
+  if (trace.hours() >= util::kHoursPerWeek && overall.variance() > 0.0) {
+    double residual_ss = 0.0;
+    for (std::size_t h = 0; h < trace.hours(); ++h) {
+      const double expected =
+          profile[util::hour_of_week(options.phase_offset_hours + h)];
+      const double r = trace.at(h) - expected;
+      residual_ss += r * r;
+    }
+    const double total_ss =
+        overall.variance() * static_cast<double>(trace.hours() - 1);
+    stats.weekly_pattern_strength =
+        std::clamp(1.0 - residual_ss / total_ss, 0.0, 1.0);
+  }
+
+  for (std::size_t h = 0; h < trace.hours(); ++h) {
+    const double expected =
+        profile[util::hour_of_week(options.phase_offset_hours + h)];
+    if (expected > 0.0 && trace.at(h) > options.spike_threshold * expected)
+      ++stats.spike_hours;
+  }
+  return stats;
+}
+
+}  // namespace billcap::workload

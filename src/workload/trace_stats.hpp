@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace billcap::workload {
+
+/// Descriptive statistics of an hourly trace, the quantities the bill
+/// capper's components consume: the weekly pattern strength that justifies
+/// hour-of-week budgeting (Section VI-B), the burstiness statistic C_A^2
+/// that enters the Allen-Cunneen formula, and flash-crowd counts that
+/// motivate bill capping in the first place.
+struct TraceStats {
+  double mean = 0.0;
+  double peak = 0.0;
+  double trough = 0.0;
+  double peak_to_mean = 0.0;
+  /// Squared coefficient of variation of the hourly arrival counts.
+  double hourly_cv2 = 0.0;
+  /// Share of total variance explained by the mean weekly profile
+  /// (1 = perfectly periodic, 0 = no weekly structure). The paper observes
+  /// "a very clear weekly pattern" in the Wikipedia trace.
+  double weekly_pattern_strength = 0.0;
+  /// Hours whose load exceeds `spike_threshold` x the hour-of-week mean.
+  std::size_t spike_hours = 0;
+};
+
+/// Options for analyze_trace.
+struct TraceStatsOptions {
+  double spike_threshold = 1.5;  ///< multiple of the slot mean counted as a spike
+  /// Hour-of-week of the trace's first hour on the global calendar.
+  std::size_t phase_offset_hours = 0;
+};
+
+/// Computes TraceStats. Requires at least one full week of data for the
+/// weekly decomposition (weekly_pattern_strength is 0 otherwise).
+TraceStats analyze_trace(const Trace& trace,
+                         const TraceStatsOptions& options = {});
+
+/// Mean load per hour-of-week slot (168 values, phase-corrected). Slots
+/// never observed carry the overall mean.
+std::vector<double> weekly_profile(const Trace& trace,
+                                   std::size_t phase_offset_hours = 0);
+
+}  // namespace billcap::workload

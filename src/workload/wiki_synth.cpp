@@ -1,0 +1,78 @@
+#include "workload/wiki_synth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/calendar.hpp"
+#include "util/rng.hpp"
+
+namespace billcap::workload {
+
+namespace {
+
+/// Double-humped diurnal profile, normalized to mean ~1 over the day:
+/// a broad midday hump (~14:00) plus a narrower evening hump (~20:30),
+/// matching the documented Wikipedia access shape.
+double diurnal_shape(double hour, double amplitude) {
+  auto bump = [](double h, double center, double width) {
+    // Circular distance in hours.
+    double d = std::fmod(std::abs(h - center), 24.0);
+    d = std::min(d, 24.0 - d);
+    return std::exp(-0.5 * (d / width) * (d / width));
+  };
+  const double humps = 0.65 * bump(hour, 14.0, 4.5) + 0.45 * bump(hour, 20.5, 2.5);
+  // Normalize humps' daily mean (~0.25) so `amplitude` is a clean knob.
+  return 1.0 + amplitude * (humps / 0.25 - 1.0) * 0.5;
+}
+
+}  // namespace
+
+Trace generate_wiki_trace(const WikiSynthParams& params, std::size_t hours,
+                          std::uint64_t seed) {
+  if (params.mean_rate <= 0.0)
+    throw std::invalid_argument("generate_wiki_trace: mean_rate must be > 0");
+  if (params.diurnal_amplitude < 0.0 || params.diurnal_amplitude > 1.0)
+    throw std::invalid_argument(
+        "generate_wiki_trace: diurnal_amplitude in [0, 1] required");
+  if (params.flash_crowd_decay <= 0.0 || params.flash_crowd_decay >= 1.0)
+    throw std::invalid_argument(
+        "generate_wiki_trace: flash_crowd_decay in (0, 1) required");
+
+  util::Rng rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(hours);
+  double flash_level = 0.0;  // decaying extra load from an active flash crowd
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double hour = static_cast<double>(util::hour_of_day(h));
+    double level =
+        params.mean_rate * diurnal_shape(hour, params.diurnal_amplitude);
+    if (util::is_weekend(h)) level *= 1.0 - params.weekend_drop;
+    level *= rng.lognormal(0.0, params.noise_sigma);
+
+    // Flash crowds: a spike that decays geometrically over several hours.
+    flash_level *= params.flash_crowd_decay;
+    if (rng.bernoulli(params.flash_crowd_per_hour))
+      flash_level += params.flash_crowd_magnitude * params.mean_rate;
+    level += flash_level;
+
+    arrivals.push_back(level);
+  }
+  return Trace(std::move(arrivals));
+}
+
+TwoMonthTrace paper_two_month_trace(std::uint64_t seed,
+                                    const WikiSynthParams& params) {
+  // One continuous series keeps the weekly phase aligned between the
+  // history month and the evaluation month.
+  constexpr std::size_t kHistoryHours = 31 * 24;
+  constexpr std::size_t kEvaluationHours = 30 * 24;
+  const Trace both = generate_wiki_trace(
+      params, kHistoryHours + kEvaluationHours, seed);
+  return TwoMonthTrace{
+      .history = both.slice(0, kHistoryHours),
+      .evaluation = both.slice(kHistoryHours, kEvaluationHours),
+  };
+}
+
+}  // namespace billcap::workload

@@ -1,0 +1,133 @@
+#include "core/bill_capper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "datacenter/catalog.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::core {
+namespace {
+
+class BillCapperTest : public ::testing::Test {
+ protected:
+  const std::vector<datacenter::DataCenter> sites_ =
+      datacenter::paper_datacenters();
+  const std::vector<market::PricingPolicy> policies_ =
+      market::paper_policies(1);
+  const std::vector<double> demand_ = {228.0, 182.0, 172.0};
+  const BillCapper capper_{sites_, policies_};
+};
+
+TEST_F(BillCapperTest, AmpleBudgetUncapped) {
+  const CappingOutcome outcome =
+      capper_.decide(4.8e11, 1.2e11, demand_, 1e7);
+  EXPECT_EQ(outcome.mode, CappingOutcome::Mode::kUncapped);
+  EXPECT_DOUBLE_EQ(outcome.served_premium, 4.8e11);
+  EXPECT_DOUBLE_EQ(outcome.served_ordinary, 1.2e11);
+  EXPECT_DOUBLE_EQ(outcome.dropped_capacity, 0.0);
+}
+
+TEST_F(BillCapperTest, TightBudgetThrottlesOrdinaryOnly) {
+  // Find the uncapped cost, then offer ~80 % of it.
+  const CappingOutcome free_run =
+      capper_.decide(8e11, 2e11, demand_, 1e7);
+  const double budget = free_run.allocation.predicted_cost * 0.8;
+  const CappingOutcome capped = capper_.decide(8e11, 2e11, demand_, budget);
+  EXPECT_EQ(capped.mode, CappingOutcome::Mode::kCapped);
+  EXPECT_DOUBLE_EQ(capped.served_premium, 8e11);  // premium untouched
+  EXPECT_LT(capped.served_ordinary, 2e11);        // ordinary throttled
+  EXPECT_LE(capped.allocation.predicted_cost, budget * (1.0 + 1e-6));
+}
+
+TEST_F(BillCapperTest, PunishingBudgetPremiumOnly) {
+  const CappingOutcome outcome =
+      capper_.decide(8e11, 2e11, demand_, 100.0);
+  EXPECT_EQ(outcome.mode, CappingOutcome::Mode::kPremiumOnly);
+  EXPECT_DOUBLE_EQ(outcome.served_premium, 8e11);
+  EXPECT_DOUBLE_EQ(outcome.served_ordinary, 0.0);
+  // The budget is deliberately violated for the QoS guarantee.
+  EXPECT_GT(outcome.allocation.predicted_cost, 100.0);
+}
+
+TEST_F(BillCapperTest, PremiumQosNeverSacrificedToBudget) {
+  for (double budget : {50.0, 300.0, 800.0, 2000.0, 1e7}) {
+    const CappingOutcome outcome =
+        capper_.decide(6e11, 1.5e11, demand_, budget);
+    EXPECT_DOUBLE_EQ(outcome.served_premium, 6e11) << "budget " << budget;
+  }
+}
+
+TEST_F(BillCapperTest, OrdinaryThroughputMonotoneInBudget) {
+  double prev = -1.0;
+  for (double budget : {100.0, 500.0, 1000.0, 2000.0, 5000.0}) {
+    const CappingOutcome outcome =
+        capper_.decide(8e11, 2e11, demand_, budget);
+    EXPECT_GE(outcome.served_ordinary, prev - 1e6) << "budget " << budget;
+    prev = outcome.served_ordinary;
+  }
+}
+
+TEST_F(BillCapperTest, CapacityOverflowShedsOrdinaryFirst) {
+  // Arrivals way beyond physical capacity: premium is served up to
+  // capacity, ordinary takes the drop.
+  const CappingOutcome outcome =
+      capper_.decide(1.5e12, 5e11, demand_, 1e9);
+  EXPECT_GT(outcome.dropped_capacity, 0.0);
+  EXPECT_GT(outcome.served_premium, 1.49e12);
+  EXPECT_LT(outcome.served_ordinary, 5e11);
+  EXPECT_NEAR(outcome.served_premium + outcome.served_ordinary +
+                  outcome.dropped_capacity,
+              2e12, 1e6);
+}
+
+TEST_F(BillCapperTest, PremiumBeyondCapacityIsBounded) {
+  const CappingOutcome outcome =
+      capper_.decide(5e12, 0.0, demand_, 1e9);
+  EXPECT_GT(outcome.dropped_capacity, 0.0);
+  EXPECT_LT(outcome.served_premium, 2e12);
+}
+
+TEST_F(BillCapperTest, GroundTruthCostNearBudgetWhenCapped) {
+  // 88 % of the uncapped cost: enough for the 80 % premium share, not for
+  // everything -> the capper must land in kCapped.
+  const CappingOutcome free_run = capper_.decide(8e11, 2e11, demand_, 1e7);
+  const double budget = free_run.allocation.predicted_cost * 0.88;
+  const CappingOutcome capped = capper_.decide(8e11, 2e11, demand_, budget);
+  ASSERT_EQ(capped.mode, CappingOutcome::Mode::kCapped);
+  const GroundTruth truth = evaluate_allocation(
+      sites_, policies_, demand_, capped.allocation.lambda_vector());
+  EXPECT_LE(truth.total_cost, budget * 1.01);
+}
+
+TEST_F(BillCapperTest, Validation) {
+  EXPECT_THROW(capper_.decide(-1.0, 0.0, demand_, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(capper_.decide(0.0, -1.0, demand_, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      capper_.decide(1e11, 1e10, std::vector<double>{1.0}, 100.0),
+      std::invalid_argument);
+}
+
+TEST_F(BillCapperTest, ConstructorValidation) {
+  const std::vector<market::PricingPolicy> two = {policies_[0], policies_[1]};
+  EXPECT_THROW(BillCapper(sites_, two), std::invalid_argument);
+}
+
+TEST_F(BillCapperTest, ModeNames) {
+  EXPECT_STREQ(to_string(CappingOutcome::Mode::kUncapped), "uncapped");
+  EXPECT_STREQ(to_string(CappingOutcome::Mode::kCapped), "capped");
+  EXPECT_STREQ(to_string(CappingOutcome::Mode::kPremiumOnly), "premium_only");
+}
+
+TEST_F(BillCapperTest, ZeroArrivalsZeroCost) {
+  const CappingOutcome outcome = capper_.decide(0.0, 0.0, demand_, 100.0);
+  EXPECT_EQ(outcome.mode, CappingOutcome::Mode::kUncapped);
+  EXPECT_NEAR(outcome.allocation.predicted_cost, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace billcap::core

@@ -1,0 +1,123 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datacenter/catalog.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::core {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  const std::vector<datacenter::DataCenter> sites_ =
+      datacenter::paper_datacenters();
+  const std::vector<market::PricingPolicy> policies_ =
+      market::paper_policies(1);
+  const std::vector<double> demand_ = {190.0, 180.0, 170.0};
+};
+
+TEST_F(CostModelTest, ZeroAllocationZeroCost) {
+  const GroundTruth truth = evaluate_allocation(
+      sites_, policies_, demand_, std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(truth.total_cost, 0.0);
+  EXPECT_DOUBLE_EQ(truth.total_power_mw, 0.0);
+  for (const auto& site : truth.sites) {
+    EXPECT_EQ(site.servers, 0u);
+    EXPECT_DOUBLE_EQ(site.cost, 0.0);
+  }
+}
+
+TEST_F(CostModelTest, SizeMismatchThrows) {
+  EXPECT_THROW(evaluate_allocation(sites_, policies_, demand_,
+                                   std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_allocation(sites_, policies_,
+                                   std::vector<double>{1.0},
+                                   std::vector<double>{0.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST_F(CostModelTest, BillingUsesLocationalPrice) {
+  const std::vector<double> lambda = {2e11, 0.0, 0.0};
+  const GroundTruth truth =
+      evaluate_allocation(sites_, policies_, demand_, lambda);
+  const auto& dc1 = truth.sites[0];
+  const double expected_price =
+      policies_[0].price_at(dc1.power.total_mw() + demand_[0]);
+  EXPECT_DOUBLE_EQ(dc1.price_per_mwh, expected_price);
+  EXPECT_NEAR(dc1.cost, expected_price * dc1.power.total_mw() + dc1.penalty,
+              1e-9);
+}
+
+TEST_F(CostModelTest, PriceMakerEffectVisibleInBilling) {
+  // Enough data-center load pushes the location across a step: average
+  // $/MWh rises with the site's own draw.
+  const GroundTruth small = evaluate_allocation(
+      sites_, policies_, demand_, std::vector<double>{5e10, 0.0, 0.0});
+  const GroundTruth large = evaluate_allocation(
+      sites_, policies_, demand_, std::vector<double>{4.5e11, 0.0, 0.0});
+  EXPECT_GT(large.sites[0].price_per_mwh, small.sites[0].price_per_mwh);
+}
+
+TEST_F(CostModelTest, TotalsAreSums) {
+  const std::vector<double> lambda = {1e11, 8e10, 2e11};
+  const GroundTruth truth =
+      evaluate_allocation(sites_, policies_, demand_, lambda);
+  double cost = 0.0;
+  double power = 0.0;
+  for (const auto& site : truth.sites) {
+    cost += site.cost;
+    power += site.power.total_mw();
+  }
+  EXPECT_NEAR(truth.total_cost, cost, 1e-9);
+  EXPECT_NEAR(truth.total_power_mw, power, 1e-9);
+}
+
+TEST_F(CostModelTest, NoPenaltyWithinCap) {
+  const GroundTruth truth = evaluate_allocation(
+      sites_, policies_, demand_, std::vector<double>{1e11, 1e11, 1e11});
+  for (const auto& site : truth.sites) {
+    EXPECT_DOUBLE_EQ(site.overage_mw, 0.0);
+    EXPECT_DOUBLE_EQ(site.penalty, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(truth.total_penalty, 0.0);
+}
+
+TEST_F(CostModelTest, OverageTriggersPenalty) {
+  // Load the first site up to full server capacity: its exact draw exceeds
+  // the supplier cap, and the overage is billed at the penalty multiple.
+  const double lambda_max = sites_[0].max_requests_per_hour();
+  const GroundTruth truth = evaluate_allocation(
+      sites_, policies_, demand_, std::vector<double>{lambda_max, 0.0, 0.0});
+  const auto& dc1 = truth.sites[0];
+  ASSERT_GT(dc1.power.total_mw(), sites_[0].spec().power_cap_mw);
+  EXPECT_GT(dc1.overage_mw, 0.0);
+  EXPECT_NEAR(dc1.penalty,
+              kPowerCapPenaltyMultiplier * dc1.price_per_mwh * dc1.overage_mw,
+              1e-9);
+  EXPECT_GT(truth.total_penalty, 0.0);
+}
+
+TEST_F(CostModelTest, ServersMatchLocalOptimizer) {
+  const std::vector<double> lambda = {1e11, 5e10, 2e11};
+  const GroundTruth truth =
+      evaluate_allocation(sites_, policies_, demand_, lambda);
+  for (std::size_t i = 0; i < sites_.size(); ++i)
+    EXPECT_EQ(truth.sites[i].servers, sites_[i].servers_for(lambda[i]));
+}
+
+TEST_F(CostModelTest, FlatPolicyBillsUniformPrice) {
+  const std::vector<market::PricingPolicy> flat = {
+      market::PricingPolicy::flat(20.0), market::PricingPolicy::flat(20.0),
+      market::PricingPolicy::flat(20.0)};
+  const GroundTruth truth = evaluate_allocation(
+      sites_, flat, demand_, std::vector<double>{1e11, 1e11, 1e11});
+  for (const auto& site : truth.sites)
+    EXPECT_DOUBLE_EQ(site.price_per_mwh, 20.0);
+}
+
+}  // namespace
+}  // namespace billcap::core

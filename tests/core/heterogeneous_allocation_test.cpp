@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cost_minimizer.hpp"
+#include "core/throughput_maximizer.hpp"
+#include "datacenter/heterogeneous.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::core {
+namespace {
+
+datacenter::ServerPool make_pool(std::string name, double req_per_sec,
+                                 double watts, std::uint64_t count) {
+  const double mu = req_per_sec * 3600.0;
+  return datacenter::ServerPool{
+      .name = std::move(name),
+      .queue = {.service_rate = mu, .ca2 = 1.0, .cb2 = 1.0},
+      .server = datacenter::ServerModel::from_active_power(watts, 0.8),
+      .operating_utilization = 0.8,
+      .count = count,
+  };
+}
+
+datacenter::HeterogeneousSite mixed_site(const std::string& name,
+                                         double cap_mw) {
+  return datacenter::HeterogeneousSite::from_pools(
+      name,
+      {make_pool("old", 300.0, 134.0, 60'000),
+       make_pool("new", 500.0, 88.88, 60'000)},
+      2.0 / (300.0 * 3600.0), cap_mw);
+}
+
+class HeterogeneousAllocationTest : public ::testing::Test {
+ protected:
+  const std::vector<datacenter::HeterogeneousSite> sites_ = {
+      mixed_site("hetero-1", 35.0), mixed_site("hetero-2", 35.0)};
+  const std::vector<market::PricingPolicy> policies_ =
+      market::paper_policies(1);
+
+  std::vector<SiteModel> models(double d1, double d2) const {
+    return {make_heterogeneous_site_model(sites_[0], policies_[0], d1),
+            make_heterogeneous_site_model(sites_[1], policies_[1], d2)};
+  }
+};
+
+TEST_F(HeterogeneousAllocationTest, ModelCarriesSegments) {
+  const auto ms = models(200.0, 180.0);
+  ASSERT_EQ(ms[0].power_segments.size(), 2u);
+  EXPECT_LT(ms[0].power_segments[0].slope, ms[0].power_segments[1].slope);
+  EXPECT_GT(ms[0].lambda_max, 0.0);
+}
+
+TEST_F(HeterogeneousAllocationTest, PowerCapClipsSegments) {
+  const datacenter::HeterogeneousSite tight = mixed_site("tight", 8.0);
+  const SiteModel m =
+      make_heterogeneous_site_model(tight, policies_[0], 100.0);
+  // The cap (8 MW) binds before the installed capacity does.
+  double power = m.power_intercept_mw;
+  for (const auto& seg : m.power_segments) power += seg.lambda_cap * seg.slope;
+  EXPECT_LE(power, 8.0 * 1.01);
+  EXPECT_LT(m.lambda_max, tight.max_requests_per_hour());
+}
+
+TEST_F(HeterogeneousAllocationTest, MinimizeCostServesDemand) {
+  const auto ms = models(200.0, 180.0);
+  const double lambda = 0.8 * system_capacity(ms);
+  const AllocationResult r = minimize_cost_over_models(ms, lambda);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.total_lambda / lambda, 1.0, 1e-6);
+}
+
+TEST_F(HeterogeneousAllocationTest, BelievedPowerMatchesGreedyDispatch) {
+  // The MILP's believed power must match the site's own greedy dispatch:
+  // cheap class first.
+  const auto ms = models(150.0, 150.0);
+  const double lambda = 0.6 * system_capacity(ms);
+  const AllocationResult r = minimize_cost_over_models(ms, lambda);
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (r.sites[i].lambda <= 0.0) continue;
+    const double exact = sites_[i].power_mw(r.sites[i].lambda);
+    EXPECT_NEAR(r.sites[i].power_mw / exact, 1.0, 0.02) << "site " << i;
+  }
+}
+
+TEST_F(HeterogeneousAllocationTest, CheaperThanForcedExpensiveClass) {
+  // A model with the classes' order swapped (expensive first) must never
+  // beat the true model: sanity that the LP exploits the cheap segments.
+  // Half capacity: even an all-expensive-class dispatch stays within the
+  // power caps, so both models are feasible.
+  const auto ms = models(150.0, 150.0);
+  const double lambda = 0.5 * system_capacity(ms);
+  const AllocationResult good = minimize_cost_over_models(ms, lambda);
+  auto swapped = ms;
+  for (auto& m : swapped) {
+    std::swap(m.power_segments[0], m.power_segments[1]);
+    // Swapping breaks the sorted-order invariant: LP may now "fill" the
+    // listed-first expensive class only when forced; emulate a bad
+    // dispatcher by replacing both slopes with the expensive one.
+    m.power_segments[0].slope = std::max(m.power_segments[0].slope,
+                                         m.power_segments[1].slope);
+    m.power_segments[1].slope = m.power_segments[0].slope;
+  }
+  const AllocationResult bad = minimize_cost_over_models(swapped, lambda);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_LE(good.predicted_cost, bad.predicted_cost + 1e-6);
+}
+
+TEST_F(HeterogeneousAllocationTest, ThroughputMaximizationWorksOnSegments) {
+  const auto ms = models(200.0, 180.0);
+  const double lambda = 0.9 * system_capacity(ms);
+  const AllocationResult unconstrained =
+      maximize_throughput_over_models(ms, lambda, 1e9);
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_NEAR(unconstrained.total_lambda / lambda, 1.0, 1e-6);
+
+  const AllocationResult tight =
+      maximize_throughput_over_models(ms, lambda, 300.0);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(tight.total_lambda, lambda);
+  EXPECT_LE(tight.predicted_cost, 300.0 * (1 + 1e-6));
+}
+
+TEST_F(HeterogeneousAllocationTest, StepPricesStillRespected) {
+  // With background demand just below a threshold, the optimizer should
+  // stop the cheap site short of the step when that is cheaper overall.
+  const auto ms = models(236.0, 150.0);  // site 0 is 1.3 MW below a step
+  const AllocationResult r =
+      minimize_cost_over_models(ms, 0.85 * system_capacity(ms));
+  ASSERT_TRUE(r.ok());
+  const double total0 = r.sites[0].power_mw + 236.0;
+  EXPECT_TRUE(total0 <= 237.31 || total0 >= 238.0)
+      << "grazing the step at " << total0;
+}
+
+}  // namespace
+}  // namespace billcap::core

@@ -1,0 +1,149 @@
+#include "core/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "datacenter/catalog.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::core {
+namespace {
+
+class HierarchicalTest : public ::testing::Test {
+ protected:
+  // A six-site network: the paper catalog replicated across two regions.
+  HierarchicalTest() {
+    const auto base_sites = datacenter::paper_datacenters();
+    const auto base_policies = market::paper_policies(1);
+    for (int rep = 0; rep < 2; ++rep) {
+      for (std::size_t i = 0; i < base_sites.size(); ++i) {
+        sites_.push_back(base_sites[i]);
+        policies_.push_back(base_policies[i]);
+        demand_.push_back(170.0 + 25.0 * rep + 10.0 * static_cast<double>(i));
+      }
+    }
+  }
+
+  std::vector<datacenter::DataCenter> sites_;
+  std::vector<market::PricingPolicy> policies_;
+  std::vector<double> demand_;
+};
+
+TEST(ContiguousRegionsTest, PartitionsEvenly) {
+  const auto regions = contiguous_regions(6, 3);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].site_indices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(regions[1].site_indices, (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(ContiguousRegionsTest, HandlesRemainder) {
+  const auto regions = contiguous_regions(7, 3);
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[2].site_indices.size(), 1u);
+  EXPECT_THROW(contiguous_regions(5, 0), std::invalid_argument);
+}
+
+TEST_F(HierarchicalTest, ConstructorValidation) {
+  EXPECT_NO_THROW(
+      HierarchicalCapper(sites_, policies_, contiguous_regions(6, 3)));
+  // Uncovered site.
+  std::vector<Region> missing = {{"r0", {0, 1, 2}}, {"r1", {3, 4}}};
+  EXPECT_THROW(HierarchicalCapper(sites_, policies_, missing),
+               std::invalid_argument);
+  // Duplicate site.
+  std::vector<Region> duplicate = {{"r0", {0, 1, 2, 3}}, {"r1", {3, 4, 5}}};
+  EXPECT_THROW(HierarchicalCapper(sites_, policies_, duplicate),
+               std::invalid_argument);
+  // Empty region.
+  std::vector<Region> empty = {{"r0", {0, 1, 2, 3, 4, 5}}, {"r1", {}}};
+  EXPECT_THROW(HierarchicalCapper(sites_, policies_, empty),
+               std::invalid_argument);
+}
+
+TEST_F(HierarchicalTest, ServesEverythingWithAmpleBudget) {
+  const HierarchicalCapper capper(sites_, policies_,
+                                  contiguous_regions(6, 3));
+  const HierarchicalOutcome out =
+      capper.decide(8e11, 2e11, demand_, /*hourly_budget=*/1e7);
+  EXPECT_EQ(out.mode, CappingOutcome::Mode::kUncapped);
+  EXPECT_NEAR(out.served_premium, 8e11, 1e3);
+  EXPECT_NEAR(out.served_ordinary, 2e11, 1e3);
+  EXPECT_EQ(out.region_outcomes.size(), 2u);
+}
+
+TEST_F(HierarchicalTest, SiteLambdaCoversGlobalOrder) {
+  const HierarchicalCapper capper(sites_, policies_,
+                                  contiguous_regions(6, 3));
+  const HierarchicalOutcome out = capper.decide(8e11, 2e11, demand_, 1e7);
+  ASSERT_EQ(out.site_lambda.size(), 6u);
+  double total = 0.0;
+  for (double l : out.site_lambda) total += l;
+  EXPECT_NEAR(total, out.served_premium + out.served_ordinary,
+              1e-3 * total);
+  // The allocation must bill consistently at global ground truth.
+  const GroundTruth truth =
+      evaluate_allocation(sites_, policies_, demand_, out.site_lambda);
+  EXPECT_NEAR(truth.total_cost / out.predicted_cost, 1.0, 0.02);
+}
+
+TEST_F(HierarchicalTest, PremiumGuaranteeSurvivesDecentralization) {
+  const HierarchicalCapper capper(sites_, policies_,
+                                  contiguous_regions(6, 3));
+  for (double budget : {200.0, 1000.0, 4000.0}) {
+    const HierarchicalOutcome out =
+        capper.decide(8e11, 2e11, demand_, budget);
+    EXPECT_NEAR(out.served_premium, 8e11, 1e3) << "budget " << budget;
+  }
+}
+
+TEST_F(HierarchicalTest, TightBudgetThrottlesOrdinary) {
+  const HierarchicalCapper capper(sites_, policies_,
+                                  contiguous_regions(6, 3));
+  const HierarchicalOutcome free_run = capper.decide(8e11, 2e11, demand_, 1e7);
+  const HierarchicalOutcome capped = capper.decide(
+      8e11, 2e11, demand_, free_run.predicted_cost * 0.9);
+  EXPECT_LT(capped.served_ordinary, 2e11);
+  EXPECT_NE(capped.mode, CappingOutcome::Mode::kUncapped);
+}
+
+TEST_F(HierarchicalTest, NearOptimalVsFlatCapper) {
+  // Decentralization loses some coordination; the gap against the flat
+  // capper must stay small for a balanced network.
+  const BillCapper flat(sites_, policies_);
+  const HierarchicalCapper hier(sites_, policies_, contiguous_regions(6, 3));
+  const double premium = 9e11;
+  const double ordinary = 2.2e11;
+  const CappingOutcome flat_out =
+      flat.decide(premium, ordinary, demand_, 1e7);
+  const HierarchicalOutcome hier_out =
+      hier.decide(premium, ordinary, demand_, 1e7);
+  const double flat_cost =
+      evaluate_allocation(sites_, policies_, demand_,
+                          flat_out.allocation.lambda_vector())
+          .total_cost;
+  const double hier_cost =
+      evaluate_allocation(sites_, policies_, demand_, hier_out.site_lambda)
+          .total_cost;
+  EXPECT_GE(hier_cost, flat_cost * 0.999);  // flat is the lower bound
+  EXPECT_LE(hier_cost, flat_cost * 1.25);   // but the gap stays bounded
+}
+
+TEST_F(HierarchicalTest, SingleRegionMatchesFlat) {
+  const BillCapper flat(sites_, policies_);
+  const HierarchicalCapper hier(sites_, policies_, contiguous_regions(6, 6));
+  const CappingOutcome a = flat.decide(6e11, 1.5e11, demand_, 1e7);
+  const HierarchicalOutcome b = hier.decide(6e11, 1.5e11, demand_, 1e7);
+  EXPECT_NEAR(a.allocation.predicted_cost, b.predicted_cost, 1e-6);
+}
+
+TEST_F(HierarchicalTest, DemandSizeValidation) {
+  const HierarchicalCapper capper(sites_, policies_,
+                                  contiguous_regions(6, 3));
+  EXPECT_THROW(capper.decide(1e11, 1e10, std::vector<double>{1.0}, 100.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace billcap::core

@@ -1,0 +1,134 @@
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace billcap::core {
+namespace {
+
+/// A shortened, cheap configuration for unit-level checks (full-month runs
+/// live in the integration suite).
+SimulationConfig quick_config() {
+  SimulationConfig config;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SimulatorTest, ConstructionWiresEverything) {
+  const Simulator sim(quick_config());
+  EXPECT_EQ(sim.sites().size(), 3u);
+  EXPECT_EQ(sim.policies().size(), 3u);
+  EXPECT_EQ(sim.history_trace().hours(), 744u);
+  EXPECT_EQ(sim.evaluation_trace().hours(), 720u);
+  EXPECT_EQ(sim.background_demand().size(), 3u);
+  EXPECT_EQ(sim.background_demand()[0].size(), 720u);
+  EXPECT_EQ(sim.budgeter().horizon_hours(), 720u);
+}
+
+TEST(SimulatorTest, DeterministicInSeed) {
+  SimulationConfig config = quick_config();
+  const Simulator a(config);
+  const Simulator b(config);
+  EXPECT_DOUBLE_EQ(a.evaluation_trace().at(100), b.evaluation_trace().at(100));
+  config.seed = 8;
+  const Simulator c(config);
+  EXPECT_NE(a.evaluation_trace().at(100), c.evaluation_trace().at(100));
+}
+
+TEST(SimulatorTest, ConfigValidation) {
+  SimulationConfig config = quick_config();
+  config.premium_share = 1.5;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+  config = quick_config();
+  config.policy_level = 9;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+  config = quick_config();
+  config.monthly_budget = -1.0;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+}
+
+TEST(SimulatorTest, StrategyNames) {
+  EXPECT_STREQ(to_string(Strategy::kCostCapping), "CostCapping");
+  EXPECT_STREQ(to_string(Strategy::kMinOnlyAvg), "MinOnly(Avg)");
+  EXPECT_STREQ(to_string(Strategy::kMinOnlyLow), "MinOnly(Low)");
+}
+
+TEST(SimulatorTest, MonthlyResultRatios) {
+  MonthlyResult r;
+  r.monthly_budget = 1000.0;
+  r.total_cost = 900.0;
+  r.total_premium_arrivals = 100.0;
+  r.total_served_premium = 100.0;
+  r.total_ordinary_arrivals = 50.0;
+  r.total_served_ordinary = 25.0;
+  EXPECT_DOUBLE_EQ(r.premium_throughput_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(r.ordinary_throughput_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(r.budget_utilization(), 0.9);
+}
+
+TEST(SimulatorTest, EmptyAggregatesAreSafe) {
+  MonthlyResult r;
+  EXPECT_DOUBLE_EQ(r.premium_throughput_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(r.ordinary_throughput_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(r.budget_utilization(), 0.0);
+}
+
+TEST(SimulatorTest, RunProducesConsistentRecords) {
+  SimulationConfig config = quick_config();
+  config.enforce_budget = false;
+  const Simulator sim(config);
+  const MonthlyResult r = sim.run(Strategy::kCostCapping);
+  ASSERT_EQ(r.hours.size(), 720u);
+  double cost = 0.0;
+  for (const auto& h : r.hours) {
+    cost += h.cost;
+    EXPECT_NEAR(h.premium_arrivals + h.ordinary_arrivals, h.arrivals, 1.0);
+    EXPECT_EQ(h.site_lambda.size(), 3u);
+    EXPECT_EQ(h.site_power_mw.size(), 3u);
+    EXPECT_GE(h.cost, 0.0);
+  }
+  EXPECT_NEAR(r.total_cost, cost, 1e-6);
+}
+
+TEST(SimulatorTest, RunMonthsFirstMonthMatchesRun) {
+  SimulationConfig config = quick_config();
+  config.monthly_budget = 1.2e6;
+  const Simulator sim(config);
+  const MonthlyResult single = sim.run(Strategy::kCostCapping);
+  const std::vector<MonthlyResult> multi = sim.run_months(2);
+  ASSERT_EQ(multi.size(), 2u);
+  EXPECT_NEAR(multi[0].total_cost, single.total_cost, 1e-6);
+  EXPECT_NEAR(multi[0].total_served_ordinary, single.total_served_ordinary,
+              1.0);
+}
+
+TEST(SimulatorTest, RunMonthsEachMonthGetsFreshBudget) {
+  SimulationConfig config = quick_config();
+  config.monthly_budget = 1.2e6;
+  const Simulator sim(config);
+  const auto months = sim.run_months(3);
+  for (const auto& month : months) {
+    EXPECT_EQ(month.hours.size(), 720u);
+    EXPECT_DOUBLE_EQ(month.premium_throughput_ratio(), 1.0);
+    // With a fresh budget every month, no month runs away.
+    EXPECT_LT(month.budget_utilization(), 1.3);
+    EXPECT_GT(month.total_cost, 0.0);
+  }
+}
+
+TEST(SimulatorTest, RunMonthsValidation) {
+  const Simulator sim(quick_config());
+  EXPECT_THROW(sim.run_months(0), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunsAreReproducible) {
+  SimulationConfig config = quick_config();
+  config.enforce_budget = false;
+  const Simulator sim(config);
+  const MonthlyResult a = sim.run(Strategy::kCostCapping);
+  const MonthlyResult b = sim.run(Strategy::kCostCapping);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_DOUBLE_EQ(a.total_served_ordinary, b.total_served_ordinary);
+}
+
+}  // namespace
+}  // namespace billcap::core

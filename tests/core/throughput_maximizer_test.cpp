@@ -1,0 +1,129 @@
+#include "core/throughput_maximizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cost_minimizer.hpp"
+#include "core/cost_model.hpp"
+#include "datacenter/catalog.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::core {
+namespace {
+
+class ThroughputMaximizerTest : public ::testing::Test {
+ protected:
+  const std::vector<datacenter::DataCenter> sites_ =
+      datacenter::paper_datacenters();
+  const std::vector<market::PricingPolicy> policies_ =
+      market::paper_policies(1);
+  const std::vector<double> demand_ = {210.0, 190.0, 175.0};
+};
+
+TEST_F(ThroughputMaximizerTest, AmpleBudgetServesEverything) {
+  const double lambda = 6e11;
+  const AllocationResult r = maximize_throughput(
+      sites_, policies_, demand_, lambda, /*cost_budget=*/1e9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.total_lambda / lambda, 1.0, 1e-6);
+}
+
+TEST_F(ThroughputMaximizerTest, ZeroBudgetServesNothing) {
+  const AllocationResult r =
+      maximize_throughput(sites_, policies_, demand_, 6e11, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.total_lambda, 0.0, 1e-3);
+  EXPECT_NEAR(r.predicted_cost, 0.0, 1e-9);
+}
+
+TEST_F(ThroughputMaximizerTest, BudgetCapsBelievedCost) {
+  for (double budget : {500.0, 1000.0, 2000.0}) {
+    const AllocationResult r =
+        maximize_throughput(sites_, policies_, demand_, 1.2e12, budget);
+    ASSERT_TRUE(r.ok()) << "budget " << budget;
+    EXPECT_LE(r.predicted_cost, budget * (1.0 + 1e-6)) << budget;
+  }
+}
+
+TEST_F(ThroughputMaximizerTest, GroundTruthStaysNearBudget) {
+  const double budget = 1000.0;
+  const AllocationResult r =
+      maximize_throughput(sites_, policies_, demand_, 1.2e12, budget);
+  ASSERT_TRUE(r.ok());
+  const GroundTruth truth =
+      evaluate_allocation(sites_, policies_, demand_, r.lambda_vector());
+  EXPECT_LE(truth.total_cost, budget * 1.01);
+}
+
+TEST_F(ThroughputMaximizerTest, ThroughputMonotoneInBudget) {
+  double prev = -1.0;
+  for (double budget : {200.0, 500.0, 900.0, 1500.0, 3000.0}) {
+    const AllocationResult r =
+        maximize_throughput(sites_, policies_, demand_, 1.2e12, budget);
+    ASSERT_TRUE(r.ok()) << "budget " << budget;
+    EXPECT_GE(r.total_lambda, prev - 1e-3) << "budget " << budget;
+    prev = r.total_lambda;
+  }
+}
+
+TEST_F(ThroughputMaximizerTest, ConsistentWithCostMinimizer) {
+  // If min-cost(lambda) <= budget then the maximizer must serve all of
+  // lambda; conversely the maximizer's cost at its chosen throughput can
+  // never beat the minimizer's cost for that same throughput.
+  const double lambda = 8e11;
+  const AllocationResult min_cost =
+      minimize_cost(sites_, policies_, demand_, lambda);
+  ASSERT_TRUE(min_cost.ok());
+
+  const AllocationResult ample = maximize_throughput(
+      sites_, policies_, demand_, lambda, min_cost.predicted_cost * 1.0001);
+  ASSERT_TRUE(ample.ok());
+  EXPECT_NEAR(ample.total_lambda / lambda, 1.0, 1e-6);
+
+  const AllocationResult tight = maximize_throughput(
+      sites_, policies_, demand_, lambda, min_cost.predicted_cost * 0.6);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(tight.total_lambda, lambda);
+  const AllocationResult re_min =
+      minimize_cost(sites_, policies_, demand_, tight.total_lambda);
+  ASSERT_TRUE(re_min.ok());
+  EXPECT_LE(re_min.predicted_cost, tight.predicted_cost * 1.001);
+}
+
+TEST_F(ThroughputMaximizerTest, TieBreakPicksCheapAllocation) {
+  // With a light workload and a huge budget the served amount is fixed;
+  // the secondary objective should still pick (nearly) the cheapest way.
+  const double lambda = 3e11;
+  const AllocationResult maxed =
+      maximize_throughput(sites_, policies_, demand_, lambda, 1e9);
+  const AllocationResult cheapest =
+      minimize_cost(sites_, policies_, demand_, lambda);
+  ASSERT_TRUE(maxed.ok());
+  ASSERT_TRUE(cheapest.ok());
+  EXPECT_NEAR(maxed.predicted_cost, cheapest.predicted_cost,
+              cheapest.predicted_cost * 0.01);
+}
+
+TEST_F(ThroughputMaximizerTest, Validation) {
+  EXPECT_THROW(
+      maximize_throughput(sites_, policies_, demand_, -1.0, 100.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      maximize_throughput(sites_, policies_, demand_, 1e11, -5.0),
+      std::invalid_argument);
+  EXPECT_THROW(maximize_throughput(sites_, policies_,
+                                   std::vector<double>{1.0}, 1e11, 100.0),
+               std::invalid_argument);
+}
+
+TEST_F(ThroughputMaximizerTest, PowerCapsHoldUnderPressure) {
+  const AllocationResult r =
+      maximize_throughput(sites_, policies_, demand_, 2e12, 1e9);
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 0; i < sites_.size(); ++i)
+    EXPECT_LE(r.sites[i].power_mw, sites_[i].spec().power_cap_mw + 1e-6);
+}
+
+}  // namespace
+}  // namespace billcap::core

@@ -1,0 +1,142 @@
+#include "datacenter/heterogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace billcap::datacenter {
+namespace {
+
+ServerPool make_pool(std::string name, double req_per_sec, double watts,
+                     std::uint64_t count) {
+  const double mu = req_per_sec * 3600.0;
+  return ServerPool{
+      .name = std::move(name),
+      .queue = {.service_rate = mu, .ca2 = 1.0, .cb2 = 1.0},
+      .server = ServerModel::from_active_power(watts, 0.8),
+      .operating_utilization = 0.8,
+      .count = count,
+  };
+}
+
+/// A two-generation site: old power-hungry slow servers plus a newer,
+/// faster and more efficient generation.
+HeterogeneousSite mixed_site() {
+  return HeterogeneousSite::from_pools(
+      "mixed",
+      {make_pool("old-p4", 300.0, 134.0, 50'000),
+       make_pool("new-athlon", 500.0, 88.88, 50'000)},
+      /*response_target_hours=*/2.0 / (300.0 * 3600.0),
+      /*power_cap_mw=*/30.0);
+}
+
+TEST(HeterogeneousSiteTest, Validation) {
+  EXPECT_THROW(HeterogeneousSite::from_pools("empty", {}, 1e-6, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(HeterogeneousSite::from_pools(
+                   "zero-pool", {make_pool("p", 100.0, 50.0, 0)}, 1e-5, 10.0),
+               std::invalid_argument);
+  // Response target below the slowest class's service time is impossible.
+  EXPECT_THROW(HeterogeneousSite::from_pools(
+                   "impossible", {make_pool("p", 100.0, 50.0, 10)},
+                   0.5 / (100.0 * 3600.0), 10.0),
+               std::invalid_argument);
+}
+
+TEST(HeterogeneousSiteTest, PoolsSortedByEfficiency) {
+  const HeterogeneousSite site = mixed_site();
+  // new-athlon: 88.88 W / 500 rps is far cheaper per request than
+  // old-p4: 134 W / 300 rps -> must come first after sorting.
+  EXPECT_EQ(site.pools().front().name, "new-athlon");
+  const auto segments = site.power_segments();
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_LT(segments[0].slope_mw_per_request, segments[1].slope_mw_per_request);
+}
+
+TEST(HeterogeneousSiteTest, CapacityIsSumOfPools) {
+  const HeterogeneousSite site = mixed_site();
+  // ~50k * 500/s + 50k * 300/s in hourly units (minus the tiny queueing
+  // intercepts).
+  const double expected = (50'000.0 * 500.0 + 50'000.0 * 300.0) * 3600.0;
+  EXPECT_NEAR(site.max_requests_per_hour() / expected, 1.0, 1e-4);
+}
+
+TEST(HeterogeneousSiteTest, LightLoadUsesOnlyCheapClass) {
+  const HeterogeneousSite site = mixed_site();
+  const auto d = site.dispatch(1e10);
+  EXPECT_GT(d.pool_lambda[0], 0.0);   // cheap class takes it all
+  EXPECT_DOUBLE_EQ(d.pool_lambda[1], 0.0);
+  EXPECT_EQ(d.pool_servers[1], 0u);
+}
+
+TEST(HeterogeneousSiteTest, HeavyLoadSpillsToExpensiveClass) {
+  const HeterogeneousSite site = mixed_site();
+  const double lambda = 0.9 * site.max_requests_per_hour();
+  const auto d = site.dispatch(lambda);
+  EXPECT_GT(d.pool_lambda[0], 0.0);
+  EXPECT_GT(d.pool_lambda[1], 0.0);
+  EXPECT_NEAR(d.pool_lambda[0] + d.pool_lambda[1], lambda, 1.0);
+}
+
+TEST(HeterogeneousSiteTest, DispatchBeyondCapacityThrows) {
+  const HeterogeneousSite site = mixed_site();
+  EXPECT_THROW(site.dispatch(site.max_requests_per_hour() * 1.01),
+               std::invalid_argument);
+  EXPECT_THROW(site.dispatch(-1.0), std::invalid_argument);
+}
+
+TEST(HeterogeneousSiteTest, PowerBreakdownComposition) {
+  const HeterogeneousSite site = mixed_site();
+  const auto d = site.dispatch(5e10);
+  EXPECT_GT(d.server_mw, 0.0);
+  EXPECT_GT(d.network_mw, 0.0);
+  EXPECT_NEAR(d.cooling_mw,
+              (d.server_mw + d.network_mw) / site.cooling().coe(), 1e-9);
+}
+
+TEST(HeterogeneousSiteTest, PowerMonotoneAndConvex) {
+  const HeterogeneousSite site = mixed_site();
+  const double cap = site.max_requests_per_hour();
+  double prev_power = 0.0;
+  double prev_slope = 0.0;
+  for (double frac = 0.1; frac <= 0.9; frac += 0.1) {
+    const double power = site.power_mw(frac * cap);
+    EXPECT_GT(power, prev_power);
+    const double slope = power - prev_power;
+    EXPECT_GE(slope, prev_slope - 0.05 * slope);  // convex: slopes rise
+    prev_power = power;
+    prev_slope = slope;
+  }
+}
+
+TEST(HeterogeneousSiteTest, GreedyBeatsAnyOtherSplit) {
+  const HeterogeneousSite site = mixed_site();
+  const double lambda = 0.5 * site.max_requests_per_hour();
+  const double greedy_power = site.power_mw(lambda);
+  // Mimic alternative splits by computing pool powers directly.
+  const auto segments = site.power_segments();
+  for (double share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double to_cheap = std::min(lambda * share, segments[0].lambda_cap);
+    const double to_costly = lambda - to_cheap;
+    if (to_costly > segments[1].lambda_cap) continue;
+    const double power = site.activation_mw() +
+                         to_cheap * segments[0].slope_mw_per_request +
+                         to_costly * segments[1].slope_mw_per_request;
+    EXPECT_LE(greedy_power, power * 1.01) << "share " << share;
+  }
+}
+
+TEST(HeterogeneousSiteTest, SingleClassMatchesHomogeneousBehaviour) {
+  const HeterogeneousSite site = HeterogeneousSite::from_pools(
+      "single", {make_pool("only", 500.0, 88.88, 100'000)},
+      2.0 / (500.0 * 3600.0), 20.0);
+  const auto segments = site.power_segments();
+  ASSERT_EQ(segments.size(), 1u);
+  const auto d = site.dispatch(1e11);
+  EXPECT_NEAR(d.total_mw(),
+              site.activation_mw() + 1e11 * segments[0].slope_mw_per_request,
+              0.02 * d.total_mw());
+}
+
+}  // namespace
+}  // namespace billcap::datacenter

@@ -1,0 +1,56 @@
+#include "datacenter/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace billcap::datacenter {
+namespace {
+
+TEST(ServerModelTest, LinearInterpolation) {
+  const ServerModel m(60.0, 100.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.0), 60.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.5), 80.0);
+}
+
+TEST(ServerModelTest, ClampsUtilization) {
+  const ServerModel m(60.0, 100.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(-0.5), 60.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(1.5), 100.0);
+}
+
+TEST(ServerModelTest, RejectsBadBounds) {
+  EXPECT_THROW(ServerModel(-1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ServerModel(120.0, 100.0), std::invalid_argument);
+}
+
+TEST(ServerModelTest, ZeroIdleAllowed) {
+  // A perfectly energy-proportional server (Barroso's ideal [5]).
+  const ServerModel m(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.3), 30.0);
+}
+
+TEST(ServerModelTest, FromActivePowerHitsCatalogValue) {
+  // The catalog quotes 88.88 W at the 80 % operating point.
+  const ServerModel m = ServerModel::from_active_power(88.88, 0.8, 0.6);
+  EXPECT_NEAR(m.power_watts(0.8), 88.88, 1e-9);
+  EXPECT_GT(m.peak_watts(), 88.88);
+  EXPECT_NEAR(m.idle_watts(), 0.6 * m.peak_watts(), 1e-9);
+}
+
+TEST(ServerModelTest, FromActivePowerFullUtilization) {
+  const ServerModel m = ServerModel::from_active_power(100.0, 1.0, 0.5);
+  EXPECT_NEAR(m.peak_watts(), 100.0, 1e-9);
+  EXPECT_NEAR(m.idle_watts(), 50.0, 1e-9);
+}
+
+TEST(ServerModelTest, FromActivePowerValidation) {
+  EXPECT_THROW(ServerModel::from_active_power(-5.0), std::invalid_argument);
+  EXPECT_THROW(ServerModel::from_active_power(100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ServerModel::from_active_power(100.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(ServerModel::from_active_power(100.0, 0.8, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace billcap::datacenter

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace billcap::core {
+namespace {
+
+/// Reproduction of the *shapes* of the paper's evaluation (Section VII):
+/// who wins, in which order, and where the regimes change. Absolute
+/// dollar amounts differ from the paper (our substrate is synthetic), the
+/// orderings must not.
+class PaperShapesTest : public ::testing::Test {
+ protected:
+  static MonthlyResult run(Strategy strategy, int policy_level,
+                           double budget, bool enforce_budget) {
+    SimulationConfig config;
+    config.policy_level = policy_level;
+    config.monthly_budget = budget;
+    config.enforce_budget = enforce_budget;
+    return Simulator(config).run(strategy);
+  }
+};
+
+TEST_F(PaperShapesTest, Fig3CostCappingBeatsBothBaselines) {
+  const double cc =
+      run(Strategy::kCostCapping, 1, 2.5e6, false).total_cost;
+  const double avg = run(Strategy::kMinOnlyAvg, 1, 2.5e6, false).total_cost;
+  const double low = run(Strategy::kMinOnlyLow, 1, 2.5e6, false).total_cost;
+  EXPECT_LT(cc, avg);
+  EXPECT_LT(cc, low);
+  // The paper's savings ordering: the naive lowest-price belief costs more
+  // than the averaged belief (33.5 % vs 17.9 % in the original).
+  EXPECT_GT(low, avg);
+  // The gaps are material, not noise.
+  EXPECT_GT((avg - cc) / avg, 0.01);
+  EXPECT_GT((low - cc) / low, 0.02);
+}
+
+TEST_F(PaperShapesTest, Fig4Policy0Equalizes) {
+  // Under the flat price-taker policy, workload routing does not move
+  // prices: all strategies coincide (Figure 4's Policy 0 bars).
+  const double cc = run(Strategy::kCostCapping, 0, 2.5e6, false).total_cost;
+  const double avg = run(Strategy::kMinOnlyAvg, 0, 2.5e6, false).total_cost;
+  const double low = run(Strategy::kMinOnlyLow, 0, 2.5e6, false).total_cost;
+  EXPECT_NEAR(avg / cc, 1.0, 0.002);
+  EXPECT_NEAR(low / cc, 1.0, 0.002);
+}
+
+TEST_F(PaperShapesTest, Fig4SavingsGrowWithPolicySeverity) {
+  double prev_gap = -1.0;
+  for (int level : {1, 2, 3}) {
+    const double cc =
+        run(Strategy::kCostCapping, level, 2.5e6, false).total_cost;
+    const double avg =
+        run(Strategy::kMinOnlyAvg, level, 2.5e6, false).total_cost;
+    const double gap = (avg - cc) / avg;
+    EXPECT_GT(gap, prev_gap) << "level " << level;
+    prev_gap = gap;
+  }
+}
+
+TEST_F(PaperShapesTest, Fig4BillsGrowWithPolicySeverity) {
+  double prev = 0.0;
+  for (int level : {1, 2, 3}) {
+    const double cc =
+        run(Strategy::kCostCapping, level, 2.5e6, false).total_cost;
+    EXPECT_GT(cc, prev) << "level " << level;
+    prev = cc;
+  }
+}
+
+TEST_F(PaperShapesTest, Fig5Fig6AmpleBudgetFullService) {
+  // $2.5M: all customers served, hourly cost below the hourly budget
+  // (Figures 5 and 6).
+  const MonthlyResult r = run(Strategy::kCostCapping, 1, 2.5e6, true);
+  EXPECT_DOUBLE_EQ(r.premium_throughput_ratio(), 1.0);
+  EXPECT_GT(r.ordinary_throughput_ratio(), 0.99);
+  EXPECT_LT(r.budget_utilization(), 1.0);
+}
+
+TEST_F(PaperShapesTest, Fig7Fig8TightBudgetShapes) {
+  // $1.0M (our calibration's equivalent of the paper's stringent $1.5M):
+  // premium fully served, ordinary visibly throttled with some
+  // zero-ordinary hours, and occasional hourly violations forced by the
+  // premium QoS guarantee (Figures 7 and 8).
+  const MonthlyResult r = run(Strategy::kCostCapping, 1, 1.0e6, true);
+  EXPECT_DOUBLE_EQ(r.premium_throughput_ratio(), 1.0);
+  EXPECT_LT(r.ordinary_throughput_ratio(), 0.9);
+  EXPECT_GT(r.ordinary_throughput_ratio(), 0.05);
+
+  int zero_ordinary_hours = 0;
+  int premium_only_hours = 0;
+  for (const auto& h : r.hours) {
+    if (h.served_ordinary < 1.0) ++zero_ordinary_hours;
+    if (h.mode == CappingOutcome::Mode::kPremiumOnly) ++premium_only_hours;
+  }
+  EXPECT_GT(zero_ordinary_hours, 0);
+  EXPECT_GT(premium_only_hours, 0);
+  EXPECT_LT(premium_only_hours, 720);
+}
+
+TEST_F(PaperShapesTest, Fig9BudgetComplianceComparison) {
+  // Under a stringent budget Cost Capping controls the bill while the
+  // baselines overshoot it (Figure 9: 23.3 % and 39.5 % violations).
+  const double budget = 1.0e6;
+  const MonthlyResult cc = run(Strategy::kCostCapping, 1, budget, true);
+  const MonthlyResult avg = run(Strategy::kMinOnlyAvg, 1, budget, true);
+  const MonthlyResult low = run(Strategy::kMinOnlyLow, 1, budget, true);
+  EXPECT_LT(cc.budget_utilization(), 1.1);
+  EXPECT_GT(avg.budget_utilization(), 1.2);
+  EXPECT_GT(low.budget_utilization(), avg.budget_utilization());
+  // Baselines serve everything; Cost Capping trades ordinary throughput.
+  EXPECT_GT(avg.ordinary_throughput_ratio(), 0.999);
+  EXPECT_DOUBLE_EQ(cc.premium_throughput_ratio(), 1.0);
+}
+
+TEST_F(PaperShapesTest, Fig10ThroughputMonotoneInBudget) {
+  // Ordinary throughput grows with the monthly budget and saturates;
+  // premium is always 100 % (Figure 10).
+  double prev = -1.0;
+  for (double budget : {0.5e6, 1.0e6, 1.5e6, 2.0e6, 2.5e6}) {
+    const MonthlyResult r = run(Strategy::kCostCapping, 1, budget, true);
+    EXPECT_DOUBLE_EQ(r.premium_throughput_ratio(), 1.0)
+        << "budget " << budget;
+    EXPECT_GE(r.ordinary_throughput_ratio(), prev - 1e-9)
+        << "budget " << budget;
+    prev = r.ordinary_throughput_ratio();
+  }
+  EXPECT_GT(prev, 0.99);  // saturation at the ample end
+}
+
+TEST_F(PaperShapesTest, Fig10StarvationAtTheTightEnd) {
+  const MonthlyResult r = run(Strategy::kCostCapping, 1, 0.5e6, true);
+  EXPECT_LT(r.ordinary_throughput_ratio(), 0.05);
+  EXPECT_DOUBLE_EQ(r.premium_throughput_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace billcap::core

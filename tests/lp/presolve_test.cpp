@@ -1,0 +1,177 @@
+#include "lp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/milp.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace billcap::lp {
+namespace {
+
+TEST(PresolveTest, SingletonRowBecomesBound) {
+  Problem p;
+  const int x = p.add_variable("x", 0, kInfinity, 1.0);
+  p.add_constraint("cap", {{x, 2.0}}, Relation::kLessEqual, 10.0);
+  const PresolveResult r = presolve(p);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_EQ(r.removed_constraints, 1);
+  EXPECT_EQ(r.reduced.num_constraints(), 0);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(0).upper, 5.0);
+}
+
+TEST(PresolveTest, SingletonGreaterEqualTightensLower) {
+  Problem p;
+  const int x = p.add_variable("x", 0, 100);
+  p.add_constraint("floor", {{x, 4.0}}, Relation::kGreaterEqual, 12.0);
+  const PresolveResult r = presolve(p);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(0).lower, 3.0);
+}
+
+TEST(PresolveTest, NegativeCoefficientFlipsDirection) {
+  Problem p;
+  const int x = p.add_variable("x", -100, 100);
+  p.add_constraint("c", {{x, -2.0}}, Relation::kLessEqual, 10.0);  // x >= -5
+  const PresolveResult r = presolve(p);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(0).lower, -5.0);
+}
+
+TEST(PresolveTest, FixedVariableSubstitutedOut) {
+  Problem p;
+  const int x = p.add_variable("x", 3.0, 3.0, 2.0);
+  const int y = p.add_variable("y", 0, 10, 1.0);
+  p.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 8.0);
+  const PresolveResult r = presolve(p);
+  EXPECT_EQ(r.removed_variables, 1);
+  EXPECT_EQ(r.reduced.num_variables(), 1);
+  // Row becomes y <= 5; objective constant 6.
+  EXPECT_DOUBLE_EQ(r.reduced.objective_constant(), 6.0);
+  EXPECT_DOUBLE_EQ(r.reduced.constraint(0).rhs, 5.0);
+}
+
+TEST(PresolveTest, RestoreLiftsSolutions) {
+  Problem p;
+  p.add_variable("fixed", 2.0, 2.0);
+  p.add_variable("free1", 0, 10);
+  p.add_variable("free2", 0, 10);
+  const PresolveResult r = presolve(p);
+  const std::vector<double> reduced_x = {4.0, 7.0};
+  const std::vector<double> x = r.restore(reduced_x);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], 7.0);
+}
+
+TEST(PresolveTest, DetectsCrossedBounds) {
+  Problem p;
+  const int x = p.add_variable("x", 0, 10);
+  p.add_constraint("lo", {{x, 1.0}}, Relation::kGreaterEqual, 8.0);
+  p.add_constraint("hi", {{x, 1.0}}, Relation::kLessEqual, 3.0);
+  EXPECT_TRUE(presolve(p).infeasible);
+}
+
+TEST(PresolveTest, DetectsViolatedEmptyRow) {
+  Problem p;
+  p.add_variable("x", 0, 1);
+  p.add_constraint("impossible", {}, Relation::kGreaterEqual, 5.0);
+  EXPECT_TRUE(presolve(p).infeasible);
+}
+
+TEST(PresolveTest, DropsSatisfiedEmptyRow) {
+  Problem p;
+  p.add_variable("x", 0, 1);
+  p.add_constraint("trivial", {}, Relation::kLessEqual, 5.0);
+  const PresolveResult r = presolve(p);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_EQ(r.reduced.num_constraints(), 0);
+}
+
+TEST(PresolveTest, IntegerBoundsRoundInward) {
+  Problem p;
+  const int n = p.add_variable("n", 0, kInfinity, 0.0, true);
+  p.add_constraint("lo", {{n, 1.0}}, Relation::kGreaterEqual, 2.3);
+  p.add_constraint("hi", {{n, 1.0}}, Relation::kLessEqual, 7.8);
+  const PresolveResult r = presolve(p);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(0).lower, 3.0);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(0).upper, 7.0);
+}
+
+TEST(PresolveTest, IntegerRoundingDetectsInfeasibility) {
+  Problem p;
+  const int n = p.add_variable("n", 0, 10, 0.0, true);
+  p.add_constraint("lo", {{n, 1.0}}, Relation::kGreaterEqual, 4.2);
+  p.add_constraint("hi", {{n, 1.0}}, Relation::kLessEqual, 4.8);
+  EXPECT_TRUE(presolve(p).infeasible);  // no integer in [4.2, 4.8]
+}
+
+TEST(PresolveTest, ObjectiveValuePreservedOnRandomLps) {
+  // presolve + solve == solve, across random problems with singleton rows
+  // and fixed variables sprinkled in.
+  util::Rng rng(515);
+  for (int trial = 0; trial < 60; ++trial) {
+    Problem p;
+    const int n = 3 + static_cast<int>(rng.below(3));
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.uniform(0.0, 2.0);
+      const bool fix = rng.bernoulli(0.25);
+      p.add_variable("x" + std::to_string(j), lo,
+                     fix ? lo : lo + rng.uniform(1.0, 5.0),
+                     rng.uniform(-2.0, 2.0));
+    }
+    // A couple of singleton rows.
+    for (int s = 0; s < 2; ++s) {
+      const int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      p.add_constraint("s" + std::to_string(s), {{j, rng.uniform(0.5, 2.0)}},
+                       Relation::kLessEqual, rng.uniform(2.0, 9.0));
+    }
+    // One coupling row.
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) terms.push_back({j, rng.uniform(0.1, 1.0)});
+    p.add_constraint("couple", std::move(terms), Relation::kLessEqual,
+                     rng.uniform(5.0, 25.0));
+
+    const Solution direct = solve_lp(p);
+    const PresolveResult pre = presolve(p);
+    if (pre.infeasible) {
+      EXPECT_NE(direct.status, SolveStatus::kOptimal) << "trial " << trial;
+      continue;
+    }
+    const Solution reduced = solve_lp(pre.reduced);
+    ASSERT_EQ(direct.status, reduced.status) << "trial " << trial;
+    if (!direct.ok()) continue;
+    EXPECT_NEAR(direct.objective, reduced.objective,
+                1e-7 * std::max(1.0, std::abs(direct.objective)))
+        << "trial " << trial;
+    // Restored solution must be feasible for the original.
+    const std::vector<double> x = pre.restore(reduced.x);
+    EXPECT_TRUE(p.is_feasible(x, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(PresolveTest, MilpEquivalenceOnKnapsack) {
+  Problem p;
+  p.set_sense(Sense::kMaximize);
+  std::vector<Term> weight;
+  for (int j = 0; j < 6; ++j) {
+    const int z = p.add_binary("z" + std::to_string(j), 1.0 + j);
+    weight.push_back({z, 1.0 + (j % 3)});
+  }
+  // Fix one variable via a singleton equality.
+  p.add_constraint("fix", {{2, 1.0}}, Relation::kEqual, 1.0);
+  p.add_constraint("cap", std::move(weight), Relation::kLessEqual, 6.0);
+
+  const Solution direct = solve_milp(p);
+  const PresolveResult pre = presolve(p);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.removed_variables, 1);  // z2 fixed at 1
+  const Solution reduced = solve_milp(pre.reduced);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_NEAR(direct.objective, reduced.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace billcap::lp

@@ -1,0 +1,100 @@
+#include "market/background_demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/calendar.hpp"
+#include "util/stats.hpp"
+
+namespace billcap::market {
+namespace {
+
+TEST(BackgroundDemandTest, DeterministicInSeed) {
+  const BackgroundDemandParams params;
+  const auto a = generate_background_demand(params, 100, 7);
+  const auto b = generate_background_demand(params, 100, 7);
+  EXPECT_EQ(a, b);
+  const auto c = generate_background_demand(params, 100, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(BackgroundDemandTest, RequestedLength) {
+  const auto series = generate_background_demand({}, 720, 1);
+  EXPECT_EQ(series.size(), 720u);
+}
+
+TEST(BackgroundDemandTest, AlwaysPositiveAndBounded) {
+  const BackgroundDemandParams params;
+  const auto series = generate_background_demand(params, 2000, 3);
+  for (double d : series) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, params.base_mw + params.diurnal_amplitude_mw + 60.0);
+  }
+}
+
+TEST(BackgroundDemandTest, DiurnalSwingPresent) {
+  BackgroundDemandParams params;
+  params.noise_sigma = 0.0;  // isolate the deterministic shape
+  const auto series = generate_background_demand(params, 24, 5);
+  const double peak = *std::max_element(series.begin(), series.end());
+  const double trough = *std::min_element(series.begin(), series.end());
+  EXPECT_NEAR(peak - trough, params.diurnal_amplitude_mw, 1.0);
+}
+
+TEST(BackgroundDemandTest, PeakNearConfiguredHour) {
+  BackgroundDemandParams params;
+  params.noise_sigma = 0.0;
+  params.peak_hour = 15.0;
+  const auto series = generate_background_demand(params, 24, 5);
+  const auto peak_it = std::max_element(series.begin(), series.end());
+  const auto peak_hour = static_cast<std::size_t>(peak_it - series.begin());
+  EXPECT_NEAR(static_cast<double>(peak_hour), 15.0, 1.0);
+}
+
+TEST(BackgroundDemandTest, WeekendsLighter) {
+  BackgroundDemandParams params;
+  params.noise_sigma = 0.0;
+  const auto series =
+      generate_background_demand(params, util::kHoursPerWeek, 5);
+  // Compare the same hour of day on Wednesday vs Saturday.
+  const std::size_t wed_noon = 2 * 24 + 12;
+  const std::size_t sat_noon = 5 * 24 + 12;
+  EXPECT_GT(series[wed_noon], series[sat_noon]);
+  EXPECT_NEAR(series[sat_noon] / series[wed_noon], 1.0 - params.weekend_drop,
+              1e-9);
+}
+
+TEST(BackgroundDemandTest, Validation) {
+  BackgroundDemandParams params;
+  params.base_mw = -1.0;
+  EXPECT_THROW(generate_background_demand(params, 10, 1),
+               std::invalid_argument);
+  params = {};
+  params.weekend_drop = 1.5;
+  EXPECT_THROW(generate_background_demand(params, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(PaperBackgroundTest, ThreeSitesNearPolicyThresholds) {
+  const auto series = paper_background_demand(720, 42);
+  ASSERT_EQ(series.size(), 3u);
+  for (const auto& site : series) {
+    util::RunningStats stats;
+    for (double d : site) stats.add(d);
+    // Each location lives in the 150-300 MW band where the canonical
+    // policies' thresholds (200/237/267/300) actually matter.
+    EXPECT_GT(stats.mean(), 150.0);
+    EXPECT_LT(stats.mean(), 300.0);
+    EXPECT_GT(stats.max(), 200.0);  // crosses at least the first threshold
+  }
+}
+
+TEST(PaperBackgroundTest, SitesAreDecorrelatedStreams) {
+  const auto series = paper_background_demand(100, 42);
+  EXPECT_NE(series[0], series[1]);
+  EXPECT_NE(series[1], series[2]);
+}
+
+}  // namespace
+}  // namespace billcap::market

@@ -1,0 +1,94 @@
+#include "market/pjm5.hpp"
+
+#include <gtest/gtest.h>
+
+#include "market/dcopf.hpp"
+
+namespace billcap::market {
+namespace {
+
+TEST(Pjm5Test, SystemComposition) {
+  const Grid g = pjm5_grid();
+  EXPECT_EQ(g.num_buses(), 5);
+  EXPECT_EQ(g.num_lines(), 6);
+  EXPECT_EQ(g.num_generators(), 5);
+  EXPECT_DOUBLE_EQ(g.total_capacity_mw(), 110 + 100 + 520 + 200 + 600);
+}
+
+TEST(Pjm5Test, BrightonIsTheCheapUnit) {
+  const Grid g = pjm5_grid();
+  double min_cost = 1e9;
+  std::string cheapest;
+  for (const auto& gen : g.generators()) {
+    if (gen.marginal_cost < min_cost) {
+      min_cost = gen.marginal_cost;
+      cheapest = gen.name;
+    }
+  }
+  EXPECT_EQ(cheapest, "Brighton");
+  EXPECT_DOUBLE_EQ(min_cost, 10.0);
+}
+
+TEST(Pjm5Test, LoadsUniformOverBcd) {
+  const auto loads = pjm5_loads(600.0);
+  ASSERT_EQ(loads.size(), 5u);
+  EXPECT_DOUBLE_EQ(loads[0], 0.0);  // A carries no load
+  EXPECT_DOUBLE_EQ(loads[1], 200.0);
+  EXPECT_DOUBLE_EQ(loads[2], 200.0);
+  EXPECT_DOUBLE_EQ(loads[3], 200.0);
+  EXPECT_DOUBLE_EQ(loads[4], 0.0);  // E carries no load
+}
+
+TEST(Pjm5Test, LightLoadUniformTenDollarLmp) {
+  // At light load Brighton serves everything: LMP = 10 $/MWh everywhere
+  // (the first level of Figure 1).
+  const Grid g = pjm5_grid();
+  const auto r = solve_dcopf(g, pjm5_loads(150.0));
+  ASSERT_TRUE(r.ok());
+  for (int b = 0; b < 5; ++b) EXPECT_NEAR(r.lmp[static_cast<std::size_t>(b)], 10.0, 1e-6);
+}
+
+TEST(Pjm5Test, HeavyLoadRaisesAndSeparatesLmps) {
+  // Near the 900 MW base case, multiple constraints bind: prices rise
+  // above 10 and differ across the load buses (the step structure the
+  // paper's policies encode).
+  const Grid g = pjm5_grid();
+  const auto r = solve_dcopf(g, pjm5_loads(900.0));
+  ASSERT_TRUE(r.ok());
+  for (int bus : pjm5_load_buses())
+    EXPECT_GT(r.lmp[static_cast<std::size_t>(bus)], 10.0 + 1e-6);
+  // Not all equal: congestion discriminates by location.
+  const double b = r.lmp[1];
+  const double c = r.lmp[2];
+  const double d = r.lmp[3];
+  EXPECT_TRUE(std::abs(b - c) > 1e-6 || std::abs(c - d) > 1e-6);
+}
+
+TEST(Pjm5Test, BrightonCapacityStepNearSixHundredMw) {
+  // Below ~600 MW Brighton covers the whole system (LMP 10); once its
+  // 600 MW limit binds the price steps up — the paper's first step event.
+  const Grid g = pjm5_grid();
+  const auto before = solve_dcopf(g, pjm5_loads(500.0));
+  const auto after = solve_dcopf(g, pjm5_loads(750.0));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_NEAR(before.lmp[1], 10.0, 1e-6);
+  EXPECT_GT(after.lmp[1], 10.0 + 1e-6);
+}
+
+TEST(Pjm5Test, FeasibleUpToTotalCapacity) {
+  const Grid g = pjm5_grid();
+  EXPECT_TRUE(solve_dcopf(g, pjm5_loads(1200.0)).ok());
+  EXPECT_FALSE(solve_dcopf(g, pjm5_loads(1600.0)).ok());
+}
+
+TEST(Pjm5Test, EdLineRespectsLimit) {
+  const Grid g = pjm5_grid();
+  const auto r = solve_dcopf(g, pjm5_loads(900.0));
+  ASSERT_TRUE(r.ok());
+  // Line index 5 is D-E with the 240 MW limit.
+  EXPECT_LE(std::abs(r.flow_mw[5]), 240.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace billcap::market

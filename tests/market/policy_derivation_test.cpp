@@ -1,0 +1,88 @@
+#include "market/policy_derivation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "market/dcopf.hpp"
+#include "market/pjm5.hpp"
+
+namespace billcap::market {
+namespace {
+
+TEST(PolicyDerivationTest, OnePolicyPerLoadBus) {
+  const Grid g = pjm5_grid();
+  const auto policies =
+      derive_policies_from_opf(g, pjm5_load_buses(), 900.0, 10.0);
+  EXPECT_EQ(policies.size(), 3u);
+}
+
+TEST(PolicyDerivationTest, FirstLevelIsBrightonPrice) {
+  const Grid g = pjm5_grid();
+  const auto policies =
+      derive_policies_from_opf(g, pjm5_load_buses(), 900.0, 10.0);
+  for (const auto& p : policies)
+    EXPECT_NEAR(p.prices_per_mwh().front(), 10.0, 1e-6);
+}
+
+TEST(PolicyDerivationTest, StepStructureEmerges) {
+  // Sweeping to the base case must produce multiple price levels at every
+  // consumer — the mechanism behind Figure 1.
+  const Grid g = pjm5_grid();
+  const auto policies =
+      derive_policies_from_opf(g, pjm5_load_buses(), 900.0, 5.0);
+  for (const auto& p : policies) {
+    EXPECT_GE(p.num_levels(), 2u);
+    EXPECT_LE(p.num_levels(), 8u);  // a handful, like real-world policies
+  }
+}
+
+TEST(PolicyDerivationTest, DerivedPolicyMatchesPointwiseOpf) {
+  // The collapsed step function must agree with a fresh OPF solve at
+  // points between the sweep samples.
+  const Grid g = pjm5_grid();
+  const double step = 5.0;
+  const auto policies =
+      derive_policies_from_opf(g, pjm5_load_buses(), 900.0, step);
+  for (double system_load : {150.0, 450.0, 750.0, 885.0}) {
+    const auto opf = solve_dcopf(g, pjm5_loads(system_load));
+    ASSERT_TRUE(opf.ok());
+    const auto buses = pjm5_load_buses();
+    for (std::size_t i = 0; i < buses.size(); ++i) {
+      const double local = system_load / 3.0;
+      // Within one sweep step of a threshold the collapsed function may
+      // disagree; sample points are chosen away from derived thresholds.
+      EXPECT_NEAR(policies[i].price_at(local),
+                  opf.lmp[static_cast<std::size_t>(buses[i])], 0.5)
+          << "load " << system_load << " bus " << i;
+    }
+  }
+}
+
+TEST(PolicyDerivationTest, ThresholdNearBrightonLimit) {
+  // The first step change should appear near system load 600 MW
+  // (local load 200 MW) where Brighton's capacity binds.
+  const Grid g = pjm5_grid();
+  const auto policies =
+      derive_policies_from_opf(g, pjm5_load_buses(), 900.0, 2.0);
+  for (const auto& p : policies) {
+    ASSERT_GE(p.num_levels(), 2u);
+    EXPECT_NEAR(p.thresholds_mw()[1], 200.0, 15.0);
+  }
+}
+
+TEST(PolicyDerivationTest, InputValidation) {
+  const Grid g = pjm5_grid();
+  EXPECT_THROW(derive_policies_from_opf(g, {}, 900.0), std::invalid_argument);
+  EXPECT_THROW(derive_policies_from_opf(g, pjm5_load_buses(), -10.0),
+               std::invalid_argument);
+  EXPECT_THROW(derive_policies_from_opf(g, pjm5_load_buses(), 900.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(PolicyDerivationTest, InfeasibleSweepThrows) {
+  const Grid g = pjm5_grid();
+  EXPECT_THROW(derive_policies_from_opf(g, pjm5_load_buses(), 2000.0, 100.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace billcap::market

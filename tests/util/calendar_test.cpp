@@ -1,0 +1,53 @@
+#include "util/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace billcap::util {
+namespace {
+
+TEST(CalendarTest, HourOfDayWraps) {
+  EXPECT_EQ(hour_of_day(0), 0u);
+  EXPECT_EQ(hour_of_day(23), 23u);
+  EXPECT_EQ(hour_of_day(24), 0u);
+  EXPECT_EQ(hour_of_day(49), 1u);
+}
+
+TEST(CalendarTest, DayIndexing) {
+  EXPECT_EQ(day_index(0), 0u);
+  EXPECT_EQ(day_index(23), 0u);
+  EXPECT_EQ(day_index(24), 1u);
+  EXPECT_EQ(day_of_week(0), 0u);   // Monday
+  EXPECT_EQ(day_of_week(6 * 24), 6u);
+  EXPECT_EQ(day_of_week(7 * 24), 0u);
+}
+
+TEST(CalendarTest, HourOfWeekWraps) {
+  EXPECT_EQ(hour_of_week(0), 0u);
+  EXPECT_EQ(hour_of_week(167), 167u);
+  EXPECT_EQ(hour_of_week(168), 0u);
+  EXPECT_EQ(week_index(167), 0u);
+  EXPECT_EQ(week_index(168), 1u);
+}
+
+TEST(CalendarTest, WeekendDetection) {
+  EXPECT_FALSE(is_weekend(0));            // Monday
+  EXPECT_FALSE(is_weekend(4 * 24));       // Friday
+  EXPECT_TRUE(is_weekend(5 * 24));        // Saturday
+  EXPECT_TRUE(is_weekend(6 * 24 + 23));   // Sunday 23:00
+  EXPECT_FALSE(is_weekend(7 * 24));       // next Monday
+}
+
+TEST(CalendarTest, HourLabelFormat) {
+  EXPECT_EQ(hour_label(0), "d00 h00 (Mon)");
+  EXPECT_EQ(hour_label(24 + 5), "d01 h05 (Tue)");
+  EXPECT_EQ(hour_label(6 * 24), "d06 h00 (Sun)");
+}
+
+TEST(CalendarTest, ConstantsConsistent) {
+  static_assert(kHoursPerWeek == 168);
+  static_assert(kHoursPerDay == 24);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace billcap::util

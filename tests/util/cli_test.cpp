@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace billcap::util {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgsTest, CommandAndPositionals) {
+  const CliArgs args = parse({"simulate", "extra1", "extra2"});
+  EXPECT_EQ(args.command(), "simulate");
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[1], "extra2");
+}
+
+TEST(CliArgsTest, FlagWithSeparateValue) {
+  const CliArgs args = parse({"run", "--budget", "1.5e6"});
+  EXPECT_TRUE(args.has("budget"));
+  EXPECT_DOUBLE_EQ(args.get_double("budget", 0.0), 1.5e6);
+}
+
+TEST(CliArgsTest, FlagWithEqualsValue) {
+  const CliArgs args = parse({"run", "--policy=3"});
+  EXPECT_EQ(args.get_long("policy", 0), 3);
+}
+
+TEST(CliArgsTest, BareSwitch) {
+  const CliArgs args = parse({"run", "--verbose", "--budget", "5"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("quiet"));
+  EXPECT_DOUBLE_EQ(args.get_double("budget", 0.0), 5.0);
+}
+
+TEST(CliArgsTest, DefaultsWhenAbsent) {
+  const CliArgs args = parse({"run"});
+  EXPECT_EQ(args.get("name", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_long("n", 7), 7);
+}
+
+TEST(CliArgsTest, TypeErrorsThrow) {
+  const CliArgs args = parse({"run", "--x", "abc"});
+  EXPECT_THROW(args.get_double("x", 0.0), std::runtime_error);
+  EXPECT_THROW(args.get_long("x", 0), std::runtime_error);
+  EXPECT_THROW(args.get_bool("x"), std::runtime_error);
+}
+
+TEST(CliArgsTest, DoubleList) {
+  const CliArgs args = parse({"run", "--budgets", "0.5e6,1e6,2.5e6"});
+  const auto list = args.get_double_list("budgets", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[0], 0.5e6);
+  EXPECT_DOUBLE_EQ(list[2], 2.5e6);
+}
+
+TEST(CliArgsTest, DoubleListErrors) {
+  EXPECT_THROW(parse({"run", "--xs", "1,zz"}).get_double_list("xs", {}),
+               std::runtime_error);
+  const auto fallback =
+      parse({"run"}).get_double_list("xs", {1.0, 2.0});
+  EXPECT_EQ(fallback.size(), 2u);
+}
+
+TEST(CliArgsTest, NegativeNumbersAreValuesNotFlags) {
+  const CliArgs args = parse({"run", "--delta", "-3.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("delta", 0.0), -3.5);
+}
+
+TEST(CliArgsTest, EmptyArgv) {
+  const CliArgs args = parse({});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_FALSE(args.has("anything"));
+}
+
+}  // namespace
+}  // namespace billcap::util

@@ -1,0 +1,95 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace billcap::util {
+namespace {
+
+TEST(CsvTest, RoundTripNumericRows) {
+  Csv doc({"hour", "cost"});
+  doc.add_numeric_row({0.0, 123.456});
+  doc.add_numeric_row({1.0, 0.1});
+  const Csv parsed = Csv::parse(doc.to_string());
+  ASSERT_EQ(parsed.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.cell_as_double(0, 1), 123.456);
+  EXPECT_DOUBLE_EQ(parsed.cell_as_double(1, 1), 0.1);
+}
+
+TEST(CsvTest, HeaderAccessors) {
+  Csv doc({"a", "b", "c"});
+  EXPECT_EQ(doc.num_cols(), 3u);
+  EXPECT_EQ(doc.column_index("b"), 1u);
+  EXPECT_THROW(doc.column_index("zz"), std::out_of_range);
+}
+
+TEST(CsvTest, AddRowWidthMismatchThrows) {
+  Csv doc({"a", "b"});
+  EXPECT_THROW(doc.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvTest, QuotedCellsWithCommasAndQuotes) {
+  Csv doc({"name", "note"});
+  doc.add_row({"x,y", "he said \"hi\""});
+  const std::string text = doc.to_string();
+  const Csv parsed = Csv::parse(text);
+  EXPECT_EQ(parsed.cell(0, 0), "x,y");
+  EXPECT_EQ(parsed.cell(0, 1), "he said \"hi\"");
+}
+
+TEST(CsvTest, ParsesQuotedNewlines) {
+  const Csv parsed = Csv::parse("a,b\n\"line1\nline2\",2\n");
+  ASSERT_EQ(parsed.num_rows(), 1u);
+  EXPECT_EQ(parsed.cell(0, 0), "line1\nline2");
+}
+
+TEST(CsvTest, ParsesCrLf) {
+  const Csv parsed = Csv::parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(parsed.num_rows(), 1u);
+  EXPECT_EQ(parsed.cell(0, 1), "2");
+}
+
+TEST(CsvTest, EmptyDocumentThrows) {
+  EXPECT_THROW(Csv::parse(""), std::runtime_error);
+}
+
+TEST(CsvTest, NonNumericCellThrowsOnNumericAccess) {
+  const Csv parsed = Csv::parse("a\nhello\n");
+  EXPECT_THROW(parsed.cell_as_double(0, 0), std::runtime_error);
+}
+
+TEST(CsvTest, ColumnAsDoubles) {
+  const Csv parsed = Csv::parse("h,v\n0,1.5\n1,2.5\n2,3.5\n");
+  const auto vs = parsed.column_as_doubles("v");
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_DOUBLE_EQ(vs[0], 1.5);
+  EXPECT_DOUBLE_EQ(vs[2], 3.5);
+}
+
+TEST(CsvTest, SaveAndLoad) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "billcap_csv_test.csv")
+          .string();
+  Csv doc({"x"});
+  doc.add_numeric_row({42.0});
+  doc.save(path);
+  const Csv loaded = Csv::load(path);
+  EXPECT_DOUBLE_EQ(loaded.cell_as_double(0, 0), 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileThrows) {
+  EXPECT_THROW(Csv::load("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+TEST(CsvTest, FormatDoubleRoundTrips) {
+  for (double x : {0.1, 1.0 / 3.0, 1e-300, 12345.6789}) {
+    EXPECT_EQ(std::stod(format_double(x)), x);
+  }
+}
+
+}  // namespace
+}  // namespace billcap::util

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace billcap::util {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"id", "value"});
+  t.add_row({"1", "short"});
+  t.add_row({"200", "a-much-longer-cell"});
+  const std::string out = t.to_string();
+  // Every line should have the same position for the second column start.
+  std::istringstream is(out);
+  std::string header;
+  std::string rule;
+  std::string row1;
+  std::string row2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_NE(header.find("id"), std::string::npos);
+  EXPECT_NE(rule.find("---"), std::string::npos);
+  EXPECT_EQ(row1.find("short"), row2.find("a-much-longer-cell"));
+}
+
+TEST(TableTest, WidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"x"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumericRowPrecision) {
+  Table t({"v"});
+  t.add_numeric_row({3.14159}, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(TableTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.5, 0), "2");  // round-half-even via printf
+  EXPECT_EQ(format_fixed(1.25, 1), "1.2");
+  EXPECT_EQ(format_fixed(-3.456, 2), "-3.46");
+}
+
+TEST(TableTest, PrintStreams) {
+  Table t({"x"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace billcap::util

@@ -1,0 +1,217 @@
+// billcap — command-line front end to the library.
+//
+//   billcap simulate   [--budget $] [--policy 0..3] [--strategy name]
+//                      [--seed N] [--no-cap] [--csv path]
+//   billcap sweep      [--budgets a,b,c] [--policy 0..3] [--seed N]
+//   billcap opf        [--load MW]
+//   billcap trace      [--seed N]
+//   billcap help
+//
+// Every command prints human-readable tables; `simulate --csv` dumps the
+// hourly records for plotting.
+
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "market/dcopf.hpp"
+#include "market/pjm5.hpp"
+#include "market/policy_derivation.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/trace_stats.hpp"
+#include "workload/wiki_synth.hpp"
+
+namespace {
+
+using namespace billcap;
+
+core::Strategy parse_strategy(const std::string& name) {
+  if (name == "costcapping") return core::Strategy::kCostCapping;
+  if (name == "minonly-avg") return core::Strategy::kMinOnlyAvg;
+  if (name == "minonly-low") return core::Strategy::kMinOnlyLow;
+  throw std::runtime_error(
+      "--strategy: expected costcapping | minonly-avg | minonly-low");
+}
+
+int cmd_simulate(const util::CliArgs& args) {
+  core::SimulationConfig config;
+  config.monthly_budget = args.get_double("budget", 1.5e6);
+  config.policy_level = static_cast<int>(args.get_long("policy", 1));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
+  config.enforce_budget = !args.get_bool("no-cap", false);
+  const core::Strategy strategy =
+      parse_strategy(args.get("strategy", "costcapping"));
+
+  const core::Simulator sim(config);
+
+  const long months = args.get_long("months", 1);
+  if (months > 1) {
+    if (strategy != core::Strategy::kCostCapping)
+      throw std::runtime_error("--months: multi-month runs are CostCapping only");
+    const auto results =
+        sim.run_months(static_cast<std::size_t>(months));
+    util::Table table({"month", "cost $", "cost/budget", "premium",
+                       "ordinary"});
+    for (std::size_t m = 0; m < results.size(); ++m) {
+      const auto& r = results[m];
+      table.add_row({std::to_string(m), util::format_fixed(r.total_cost, 0),
+                     util::format_fixed(r.budget_utilization(), 3),
+                     util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) + "%",
+                     util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%"});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  const core::MonthlyResult r = sim.run(strategy);
+
+  std::printf("strategy %s | policy %d | budget $%.2fM | seed %llu\n",
+              core::to_string(strategy), config.policy_level,
+              config.monthly_budget / 1e6,
+              static_cast<unsigned long long>(config.seed));
+  util::Table table({"metric", "value"});
+  table.add_row({"monthly cost", "$" + util::format_fixed(r.total_cost, 0)});
+  table.add_row({"budget utilization",
+                 util::format_fixed(100.0 * r.budget_utilization(), 1) + "%"});
+  table.add_row({"premium throughput",
+                 util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) + "%"});
+  table.add_row({"ordinary throughput",
+                 util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%"});
+  table.add_row({"max solve time",
+                 util::format_fixed(r.max_solve_ms, 2) + " ms"});
+  table.print(std::cout);
+
+  const std::string csv_path = args.get("csv");
+  if (!csv_path.empty()) {
+    util::Csv csv({"hour", "arrivals", "served_premium", "served_ordinary",
+                   "hourly_budget", "cost", "mode"});
+    for (const auto& h : r.hours) {
+      csv.add_row({std::to_string(h.hour), util::format_double(h.arrivals),
+                   util::format_double(h.served_premium),
+                   util::format_double(h.served_ordinary),
+                   util::format_double(h.hourly_budget),
+                   util::format_double(h.cost), core::to_string(h.mode)});
+    }
+    csv.save(csv_path);
+    std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), csv.num_rows());
+  }
+  return 0;
+}
+
+int cmd_sweep(const util::CliArgs& args) {
+  const auto budgets =
+      args.get_double_list("budgets", {0.5e6, 1.0e6, 1.5e6, 2.0e6, 2.5e6});
+  util::Table table({"budget", "cost / budget", "premium", "ordinary"});
+  for (double budget : budgets) {
+    core::SimulationConfig config;
+    config.monthly_budget = budget;
+    config.policy_level = static_cast<int>(args.get_long("policy", 1));
+    config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
+    const core::MonthlyResult r =
+        core::Simulator(config).run(core::Strategy::kCostCapping);
+    table.add_row({"$" + util::format_fixed(budget / 1e6, 2) + "M",
+                   util::format_fixed(r.budget_utilization(), 3),
+                   util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) + "%",
+                   util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_opf(const util::CliArgs& args) {
+  const double load = args.get_double("load", 900.0);
+  const market::Grid grid = market::pjm5_grid();
+  const market::DcOpfResult r =
+      market::solve_dcopf(grid, market::pjm5_loads(load));
+  if (!r.ok()) {
+    std::printf("OPF %s at %.1f MW system load\n", lp::to_string(r.status),
+                load);
+    return 1;
+  }
+  const market::DcOpfReport report = market::analyze_opf(grid, r);
+  std::printf("system load %.1f MW | dispatch cost $%.2f/h | reference "
+              "price %.2f $/MWh\n\n",
+              load, r.total_cost, report.reference_price);
+  util::Table buses({"bus", "LMP $/MWh", "congestion $/MWh"});
+  for (int b = 0; b < grid.num_buses(); ++b) {
+    buses.add_row({grid.bus_name(b),
+                   util::format_fixed(r.lmp[static_cast<std::size_t>(b)], 2),
+                   util::format_fixed(
+                       report.congestion_component[static_cast<std::size_t>(b)], 2)});
+  }
+  buses.print(std::cout);
+  if (!report.binding.empty()) {
+    std::printf("\nbinding constraints:\n");
+    for (const auto& b : report.binding) {
+      if (b.kind == market::BindingConstraint::Kind::kGeneratorLimit)
+        std::printf("  generator %s at %.1f MW\n",
+                    grid.generator(b.index).name.c_str(), b.value);
+      else
+        std::printf("  line %s at %.1f MW\n", grid.line(b.index).name.c_str(),
+                    b.value);
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(const util::CliArgs& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
+  const workload::TwoMonthTrace both = workload::paper_two_month_trace(seed);
+  workload::TraceStatsOptions options;
+  options.spike_threshold = 1.12;
+  const workload::TraceStats history = analyze_trace(both.history, options);
+  options.phase_offset_hours = both.history.hours();
+  const workload::TraceStats eval = analyze_trace(both.evaluation, options);
+
+  util::Table table({"metric", "history month", "evaluation month"});
+  auto row = [&table](const char* label, double a, double b, int precision) {
+    table.add_row({label, util::format_fixed(a, precision),
+                   util::format_fixed(b, precision)});
+  };
+  row("mean Greq/h", history.mean / 1e9, eval.mean / 1e9, 1);
+  row("peak Greq/h", history.peak / 1e9, eval.peak / 1e9, 1);
+  row("peak/mean", history.peak_to_mean, eval.peak_to_mean, 3);
+  row("hourly CV^2", history.hourly_cv2, eval.hourly_cv2, 4);
+  row("weekly pattern", history.weekly_pattern_strength,
+      eval.weekly_pattern_strength, 3);
+  row("spike hours", static_cast<double>(history.spike_hours),
+      static_cast<double>(eval.spike_hours), 0);
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_help() {
+  std::printf(
+      "billcap — electricity bill capping for cloud-scale data centers\n\n"
+      "commands:\n"
+      "  simulate  run one month (--budget --policy --strategy --seed\n"
+      "            --no-cap --csv out.csv --months N)\n"
+      "  sweep     budget sweep (--budgets 0.5e6,1e6,... --policy --seed)\n"
+      "  opf       PJM 5-bus optimal power flow (--load MW)\n"
+      "  trace     synthetic workload statistics (--seed)\n"
+      "  help      this text\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  try {
+    if (args.command() == "simulate") return cmd_simulate(args);
+    if (args.command() == "sweep") return cmd_sweep(args);
+    if (args.command() == "opf") return cmd_opf(args);
+    if (args.command() == "trace") return cmd_trace(args);
+    if (args.command().empty() || args.command() == "help") return cmd_help();
+    std::fprintf(stderr, "unknown command '%s' (try: billcap help)\n",
+                 args.command().c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
