@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_budgeter.dir/ablation_budgeter.cpp.o"
+  "CMakeFiles/ablation_budgeter.dir/ablation_budgeter.cpp.o.d"
+  "ablation_budgeter"
+  "ablation_budgeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_budgeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_price_model.dir/ablation_price_model.cpp.o"
+  "CMakeFiles/ablation_price_model.dir/ablation_price_model.cpp.o.d"
+  "ablation_price_model"
+  "ablation_price_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_price_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

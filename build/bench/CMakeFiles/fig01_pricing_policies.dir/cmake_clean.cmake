@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pricing_policies.dir/fig01_pricing_policies.cpp.o"
+  "CMakeFiles/fig01_pricing_policies.dir/fig01_pricing_policies.cpp.o.d"
+  "fig01_pricing_policies"
+  "fig01_pricing_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pricing_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_fig06_ample_budget.dir/fig05_fig06_ample_budget.cpp.o"
+  "CMakeFiles/fig05_fig06_ample_budget.dir/fig05_fig06_ample_budget.cpp.o.d"
+  "fig05_fig06_ample_budget"
+  "fig05_fig06_ample_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fig06_ample_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fig08_tight_budget.dir/fig07_fig08_tight_budget.cpp.o"
+  "CMakeFiles/fig07_fig08_tight_budget.dir/fig07_fig08_tight_budget.cpp.o.d"
+  "fig07_fig08_tight_budget"
+  "fig07_fig08_tight_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fig08_tight_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

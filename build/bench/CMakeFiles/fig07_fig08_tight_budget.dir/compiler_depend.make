@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_fig08_tight_budget.
+# This may be replaced when dependencies are built.

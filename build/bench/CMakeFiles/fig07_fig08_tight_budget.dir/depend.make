@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_fig08_tight_budget.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_scale.dir/hierarchical_scale.cpp.o"
+  "CMakeFiles/hierarchical_scale.dir/hierarchical_scale.cpp.o.d"
+  "hierarchical_scale"
+  "hierarchical_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebate_experiment.dir/rebate_experiment.cpp.o"
+  "CMakeFiles/rebate_experiment.dir/rebate_experiment.cpp.o.d"
+  "rebate_experiment"
+  "rebate_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebate_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_solver_time.dir/tab_solver_time.cpp.o"
+  "CMakeFiles/tab_solver_time.dir/tab_solver_time.cpp.o.d"
+  "tab_solver_time"
+  "tab_solver_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_solver_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_solver_time.
+# This may be replaced when dependencies are built.

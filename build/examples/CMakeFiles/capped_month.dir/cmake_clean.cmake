@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capped_month.dir/capped_month.cpp.o"
+  "CMakeFiles/capped_month.dir/capped_month.cpp.o.d"
+  "capped_month"
+  "capped_month.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capped_month.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

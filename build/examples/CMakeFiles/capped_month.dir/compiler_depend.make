@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for capped_month.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/opf_pricing.cpp" "examples/CMakeFiles/opf_pricing.dir/opf_pricing.cpp.o" "gcc" "examples/CMakeFiles/opf_pricing.dir/opf_pricing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/billcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/billcap_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/billcap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/billcap_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/billcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/billcap_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

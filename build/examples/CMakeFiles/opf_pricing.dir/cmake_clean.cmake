@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opf_pricing.dir/opf_pricing.cpp.o"
+  "CMakeFiles/opf_pricing.dir/opf_pricing.cpp.o.d"
+  "opf_pricing"
+  "opf_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opf_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_maker_analysis.dir/price_maker_analysis.cpp.o"
+  "CMakeFiles/price_maker_analysis.dir/price_maker_analysis.cpp.o.d"
+  "price_maker_analysis"
+  "price_maker_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_maker_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

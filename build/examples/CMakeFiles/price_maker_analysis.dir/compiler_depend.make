@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for price_maker_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/billcap_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/bill_capper.cpp" "src/core/CMakeFiles/billcap_core.dir/bill_capper.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/bill_capper.cpp.o.d"
+  "/root/repo/src/core/budgeter.cpp" "src/core/CMakeFiles/billcap_core.dir/budgeter.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/budgeter.cpp.o.d"
+  "/root/repo/src/core/cost_minimizer.cpp" "src/core/CMakeFiles/billcap_core.dir/cost_minimizer.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/cost_minimizer.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/billcap_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/formulation.cpp" "src/core/CMakeFiles/billcap_core.dir/formulation.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/formulation.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/billcap_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/billcap_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/throughput_maximizer.cpp" "src/core/CMakeFiles/billcap_core.dir/throughput_maximizer.cpp.o" "gcc" "src/core/CMakeFiles/billcap_core.dir/throughput_maximizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacenter/CMakeFiles/billcap_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/billcap_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/billcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/billcap_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/billcap_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap_core.dir/baselines.cpp.o"
+  "CMakeFiles/billcap_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/bill_capper.cpp.o"
+  "CMakeFiles/billcap_core.dir/bill_capper.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/budgeter.cpp.o"
+  "CMakeFiles/billcap_core.dir/budgeter.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/cost_minimizer.cpp.o"
+  "CMakeFiles/billcap_core.dir/cost_minimizer.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/cost_model.cpp.o"
+  "CMakeFiles/billcap_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/formulation.cpp.o"
+  "CMakeFiles/billcap_core.dir/formulation.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/billcap_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/simulator.cpp.o"
+  "CMakeFiles/billcap_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/billcap_core.dir/throughput_maximizer.cpp.o"
+  "CMakeFiles/billcap_core.dir/throughput_maximizer.cpp.o.d"
+  "libbillcap_core.a"
+  "libbillcap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

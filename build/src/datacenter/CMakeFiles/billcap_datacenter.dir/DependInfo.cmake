@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacenter/catalog.cpp" "src/datacenter/CMakeFiles/billcap_datacenter.dir/catalog.cpp.o" "gcc" "src/datacenter/CMakeFiles/billcap_datacenter.dir/catalog.cpp.o.d"
+  "/root/repo/src/datacenter/cooling.cpp" "src/datacenter/CMakeFiles/billcap_datacenter.dir/cooling.cpp.o" "gcc" "src/datacenter/CMakeFiles/billcap_datacenter.dir/cooling.cpp.o.d"
+  "/root/repo/src/datacenter/datacenter.cpp" "src/datacenter/CMakeFiles/billcap_datacenter.dir/datacenter.cpp.o" "gcc" "src/datacenter/CMakeFiles/billcap_datacenter.dir/datacenter.cpp.o.d"
+  "/root/repo/src/datacenter/fat_tree.cpp" "src/datacenter/CMakeFiles/billcap_datacenter.dir/fat_tree.cpp.o" "gcc" "src/datacenter/CMakeFiles/billcap_datacenter.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/datacenter/heterogeneous.cpp" "src/datacenter/CMakeFiles/billcap_datacenter.dir/heterogeneous.cpp.o" "gcc" "src/datacenter/CMakeFiles/billcap_datacenter.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/datacenter/server.cpp" "src/datacenter/CMakeFiles/billcap_datacenter.dir/server.cpp.o" "gcc" "src/datacenter/CMakeFiles/billcap_datacenter.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/billcap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

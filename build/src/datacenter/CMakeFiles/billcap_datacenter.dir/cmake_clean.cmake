@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap_datacenter.dir/catalog.cpp.o"
+  "CMakeFiles/billcap_datacenter.dir/catalog.cpp.o.d"
+  "CMakeFiles/billcap_datacenter.dir/cooling.cpp.o"
+  "CMakeFiles/billcap_datacenter.dir/cooling.cpp.o.d"
+  "CMakeFiles/billcap_datacenter.dir/datacenter.cpp.o"
+  "CMakeFiles/billcap_datacenter.dir/datacenter.cpp.o.d"
+  "CMakeFiles/billcap_datacenter.dir/fat_tree.cpp.o"
+  "CMakeFiles/billcap_datacenter.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/billcap_datacenter.dir/heterogeneous.cpp.o"
+  "CMakeFiles/billcap_datacenter.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/billcap_datacenter.dir/server.cpp.o"
+  "CMakeFiles/billcap_datacenter.dir/server.cpp.o.d"
+  "libbillcap_datacenter.a"
+  "libbillcap_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap_lp.dir/lp_io.cpp.o"
+  "CMakeFiles/billcap_lp.dir/lp_io.cpp.o.d"
+  "CMakeFiles/billcap_lp.dir/milp.cpp.o"
+  "CMakeFiles/billcap_lp.dir/milp.cpp.o.d"
+  "CMakeFiles/billcap_lp.dir/piecewise.cpp.o"
+  "CMakeFiles/billcap_lp.dir/piecewise.cpp.o.d"
+  "CMakeFiles/billcap_lp.dir/presolve.cpp.o"
+  "CMakeFiles/billcap_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/billcap_lp.dir/problem.cpp.o"
+  "CMakeFiles/billcap_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/billcap_lp.dir/simplex.cpp.o"
+  "CMakeFiles/billcap_lp.dir/simplex.cpp.o.d"
+  "libbillcap_lp.a"
+  "libbillcap_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/background_demand.cpp" "src/market/CMakeFiles/billcap_market.dir/background_demand.cpp.o" "gcc" "src/market/CMakeFiles/billcap_market.dir/background_demand.cpp.o.d"
+  "/root/repo/src/market/dcopf.cpp" "src/market/CMakeFiles/billcap_market.dir/dcopf.cpp.o" "gcc" "src/market/CMakeFiles/billcap_market.dir/dcopf.cpp.o.d"
+  "/root/repo/src/market/grid.cpp" "src/market/CMakeFiles/billcap_market.dir/grid.cpp.o" "gcc" "src/market/CMakeFiles/billcap_market.dir/grid.cpp.o.d"
+  "/root/repo/src/market/pjm5.cpp" "src/market/CMakeFiles/billcap_market.dir/pjm5.cpp.o" "gcc" "src/market/CMakeFiles/billcap_market.dir/pjm5.cpp.o.d"
+  "/root/repo/src/market/policy_derivation.cpp" "src/market/CMakeFiles/billcap_market.dir/policy_derivation.cpp.o" "gcc" "src/market/CMakeFiles/billcap_market.dir/policy_derivation.cpp.o.d"
+  "/root/repo/src/market/pricing_policy.cpp" "src/market/CMakeFiles/billcap_market.dir/pricing_policy.cpp.o" "gcc" "src/market/CMakeFiles/billcap_market.dir/pricing_policy.cpp.o.d"
+  "/root/repo/src/market/rebate.cpp" "src/market/CMakeFiles/billcap_market.dir/rebate.cpp.o" "gcc" "src/market/CMakeFiles/billcap_market.dir/rebate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/billcap_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

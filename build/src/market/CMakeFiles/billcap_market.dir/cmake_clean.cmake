@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap_market.dir/background_demand.cpp.o"
+  "CMakeFiles/billcap_market.dir/background_demand.cpp.o.d"
+  "CMakeFiles/billcap_market.dir/dcopf.cpp.o"
+  "CMakeFiles/billcap_market.dir/dcopf.cpp.o.d"
+  "CMakeFiles/billcap_market.dir/grid.cpp.o"
+  "CMakeFiles/billcap_market.dir/grid.cpp.o.d"
+  "CMakeFiles/billcap_market.dir/pjm5.cpp.o"
+  "CMakeFiles/billcap_market.dir/pjm5.cpp.o.d"
+  "CMakeFiles/billcap_market.dir/policy_derivation.cpp.o"
+  "CMakeFiles/billcap_market.dir/policy_derivation.cpp.o.d"
+  "CMakeFiles/billcap_market.dir/pricing_policy.cpp.o"
+  "CMakeFiles/billcap_market.dir/pricing_policy.cpp.o.d"
+  "CMakeFiles/billcap_market.dir/rebate.cpp.o"
+  "CMakeFiles/billcap_market.dir/rebate.cpp.o.d"
+  "libbillcap_market.a"
+  "libbillcap_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/des.cpp" "src/queueing/CMakeFiles/billcap_queueing.dir/des.cpp.o" "gcc" "src/queueing/CMakeFiles/billcap_queueing.dir/des.cpp.o.d"
+  "/root/repo/src/queueing/ggm.cpp" "src/queueing/CMakeFiles/billcap_queueing.dir/ggm.cpp.o" "gcc" "src/queueing/CMakeFiles/billcap_queueing.dir/ggm.cpp.o.d"
+  "/root/repo/src/queueing/mmm.cpp" "src/queueing/CMakeFiles/billcap_queueing.dir/mmm.cpp.o" "gcc" "src/queueing/CMakeFiles/billcap_queueing.dir/mmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap_queueing.dir/des.cpp.o"
+  "CMakeFiles/billcap_queueing.dir/des.cpp.o.d"
+  "CMakeFiles/billcap_queueing.dir/ggm.cpp.o"
+  "CMakeFiles/billcap_queueing.dir/ggm.cpp.o.d"
+  "CMakeFiles/billcap_queueing.dir/mmm.cpp.o"
+  "CMakeFiles/billcap_queueing.dir/mmm.cpp.o.d"
+  "libbillcap_queueing.a"
+  "libbillcap_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap_util.dir/calendar.cpp.o"
+  "CMakeFiles/billcap_util.dir/calendar.cpp.o.d"
+  "CMakeFiles/billcap_util.dir/cli.cpp.o"
+  "CMakeFiles/billcap_util.dir/cli.cpp.o.d"
+  "CMakeFiles/billcap_util.dir/csv.cpp.o"
+  "CMakeFiles/billcap_util.dir/csv.cpp.o.d"
+  "CMakeFiles/billcap_util.dir/rng.cpp.o"
+  "CMakeFiles/billcap_util.dir/rng.cpp.o.d"
+  "CMakeFiles/billcap_util.dir/stats.cpp.o"
+  "CMakeFiles/billcap_util.dir/stats.cpp.o.d"
+  "CMakeFiles/billcap_util.dir/table.cpp.o"
+  "CMakeFiles/billcap_util.dir/table.cpp.o.d"
+  "CMakeFiles/billcap_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/billcap_util.dir/thread_pool.cpp.o.d"
+  "libbillcap_util.a"
+  "libbillcap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

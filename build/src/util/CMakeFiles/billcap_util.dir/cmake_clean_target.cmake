@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbillcap_util.a"
+)

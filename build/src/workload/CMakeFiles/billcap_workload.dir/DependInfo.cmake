@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/predictor.cpp" "src/workload/CMakeFiles/billcap_workload.dir/predictor.cpp.o" "gcc" "src/workload/CMakeFiles/billcap_workload.dir/predictor.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/billcap_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/billcap_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_stats.cpp" "src/workload/CMakeFiles/billcap_workload.dir/trace_stats.cpp.o" "gcc" "src/workload/CMakeFiles/billcap_workload.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/workload/wiki_synth.cpp" "src/workload/CMakeFiles/billcap_workload.dir/wiki_synth.cpp.o" "gcc" "src/workload/CMakeFiles/billcap_workload.dir/wiki_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap_workload.dir/predictor.cpp.o"
+  "CMakeFiles/billcap_workload.dir/predictor.cpp.o.d"
+  "CMakeFiles/billcap_workload.dir/trace.cpp.o"
+  "CMakeFiles/billcap_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/billcap_workload.dir/trace_stats.cpp.o"
+  "CMakeFiles/billcap_workload.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/billcap_workload.dir/wiki_synth.cpp.o"
+  "CMakeFiles/billcap_workload.dir/wiki_synth.cpp.o.d"
+  "libbillcap_workload.a"
+  "libbillcap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/core_test.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/bill_capper_test.cpp" "tests/CMakeFiles/core_test.dir/core/bill_capper_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bill_capper_test.cpp.o.d"
+  "/root/repo/tests/core/budgeter_test.cpp" "tests/CMakeFiles/core_test.dir/core/budgeter_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/budgeter_test.cpp.o.d"
+  "/root/repo/tests/core/cost_minimizer_test.cpp" "tests/CMakeFiles/core_test.dir/core/cost_minimizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cost_minimizer_test.cpp.o.d"
+  "/root/repo/tests/core/cost_model_test.cpp" "tests/CMakeFiles/core_test.dir/core/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cost_model_test.cpp.o.d"
+  "/root/repo/tests/core/formulation_test.cpp" "tests/CMakeFiles/core_test.dir/core/formulation_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/formulation_test.cpp.o.d"
+  "/root/repo/tests/core/heterogeneous_allocation_test.cpp" "tests/CMakeFiles/core_test.dir/core/heterogeneous_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/heterogeneous_allocation_test.cpp.o.d"
+  "/root/repo/tests/core/hierarchical_test.cpp" "tests/CMakeFiles/core_test.dir/core/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/core/simulator_test.cpp" "tests/CMakeFiles/core_test.dir/core/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/simulator_test.cpp.o.d"
+  "/root/repo/tests/core/throughput_maximizer_test.cpp" "tests/CMakeFiles/core_test.dir/core/throughput_maximizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/throughput_maximizer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/billcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/billcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/billcap_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/billcap_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/billcap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/billcap_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

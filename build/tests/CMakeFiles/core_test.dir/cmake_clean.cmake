@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/bill_capper_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/bill_capper_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/budgeter_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/budgeter_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/cost_minimizer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/cost_minimizer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/cost_model_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/cost_model_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/formulation_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/formulation_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/heterogeneous_allocation_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/heterogeneous_allocation_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hierarchical_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hierarchical_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/simulator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/simulator_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/throughput_maximizer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/throughput_maximizer_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

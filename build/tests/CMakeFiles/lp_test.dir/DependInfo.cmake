@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lp/lp_io_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/lp_io_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/lp_io_test.cpp.o.d"
+  "/root/repo/tests/lp/milp_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/milp_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/milp_test.cpp.o.d"
+  "/root/repo/tests/lp/piecewise_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/piecewise_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/piecewise_test.cpp.o.d"
+  "/root/repo/tests/lp/presolve_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o.d"
+  "/root/repo/tests/lp/problem_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/problem_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/problem_test.cpp.o.d"
+  "/root/repo/tests/lp/simplex_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/billcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/billcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/billcap_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/billcap_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/billcap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/billcap_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test.dir/lp/lp_io_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/lp_io_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/milp_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/milp_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/piecewise_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/piecewise_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/problem_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/problem_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o.d"
+  "lp_test"
+  "lp_test.pdb"
+  "lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_test.dir/market/background_demand_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/background_demand_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/dcopf_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/dcopf_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/grid_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/grid_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/pjm5_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/pjm5_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/policy_derivation_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/policy_derivation_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/pricing_policy_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/pricing_policy_test.cpp.o.d"
+  "CMakeFiles/market_test.dir/market/rebate_test.cpp.o"
+  "CMakeFiles/market_test.dir/market/rebate_test.cpp.o.d"
+  "market_test"
+  "market_test.pdb"
+  "market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/predictor_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/predictor_test.cpp.o.d"
+  "/root/repo/tests/workload/trace_stats_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/trace_stats_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/trace_stats_test.cpp.o.d"
+  "/root/repo/tests/workload/trace_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/trace_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/trace_test.cpp.o.d"
+  "/root/repo/tests/workload/wiki_synth_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/wiki_synth_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/wiki_synth_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/billcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/billcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/billcap_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/billcap_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/billcap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/billcap_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/billcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billcap.dir/billcap_cli.cpp.o"
+  "CMakeFiles/billcap.dir/billcap_cli.cpp.o.d"
+  "billcap"
+  "billcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for billcap.
+# This may be replaced when dependencies are built.
