@@ -11,13 +11,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 
 #include "core/simulator.hpp"
 #include "util/calendar.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace billcap;
 
   core::SimulationConfig config;
@@ -69,4 +70,13 @@ int main(int argc, char** argv) {
       100.0 * r.premium_throughput_ratio(),
       100.0 * r.ordinary_throughput_ratio(), r.max_solve_ms);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

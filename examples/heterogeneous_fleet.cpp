@@ -7,6 +7,7 @@
 // multi-segment power curves.
 
 #include <cstdio>
+#include <exception>
 #include <iostream>
 #include <vector>
 
@@ -33,7 +34,7 @@ datacenter::ServerPool make_pool(std::string name, double req_per_sec,
 
 }  // namespace
 
-int main() {
+int run() {
   using namespace billcap;
 
   const std::vector<datacenter::HeterogeneousSite> sites = {
@@ -92,4 +93,13 @@ int main() {
   std::printf("\ntotal believed cost: $%.0f/h for %.0f Greq/h\n",
               r.predicted_cost, lambda / 1e9);
   return 0;
+}
+
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

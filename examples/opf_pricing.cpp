@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 
 #include "market/dcopf.hpp"
@@ -19,7 +20,7 @@
 #include "market/policy_derivation.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace billcap;
 
   const double max_load = argc > 1 ? std::atof(argv[1]) : 920.0;
@@ -63,4 +64,13 @@ int main(int argc, char** argv) {
               "canonical Policy 1\nthe evaluation uses "
               "(market::paper_policies).\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

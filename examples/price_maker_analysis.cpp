@@ -9,6 +9,7 @@
 // Then compares a whole hour of the network allocated both ways.
 
 #include <cstdio>
+#include <exception>
 #include <iostream>
 #include <vector>
 
@@ -19,7 +20,7 @@
 #include "market/pricing_policy.hpp"
 #include "util/table.hpp"
 
-int main() {
+int run() {
   using namespace billcap;
 
   const auto sites = datacenter::paper_datacenters();
@@ -77,4 +78,13 @@ int main() {
               "blind to the steps\nit triggers and pays for it at billing "
               "time.\n");
   return 0;
+}
+
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

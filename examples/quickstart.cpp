@@ -6,6 +6,7 @@
 // customers (step 2). Prints what each component decided.
 
 #include <cstdio>
+#include <exception>
 #include <iostream>
 
 #include "core/bill_capper.hpp"
@@ -14,7 +15,7 @@
 #include "market/pricing_policy.hpp"
 #include "util/table.hpp"
 
-int main() {
+int run() {
   using namespace billcap;
 
   // The substrate: three sites (Section VI-A) under Policy 1 locational
@@ -67,4 +68,13 @@ int main() {
   report("Tight budget: ordinary traffic throttled", 1'200.0);
   report("Punishing budget: premium-only fallback", 300.0);
   return 0;
+}
+
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

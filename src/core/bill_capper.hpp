@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -7,6 +8,22 @@
 #include "core/throughput_maximizer.hpp"
 
 namespace billcap::core {
+
+/// Why an hour's allocation came from the degradation ladder (incumbent or
+/// greedy heuristic) instead of a clean optimal solve.
+enum class FailureReason {
+  kNone,            ///< clean optimal solves all the way
+  kNodeLimit,       ///< branch-and-bound node budget exhausted
+  kIterationLimit,  ///< simplex pivot budget exhausted
+  kTimeLimit,       ///< wall-clock solver deadline expired
+  kInfeasible,      ///< solver reported infeasible (numerical trouble)
+  kUnbounded,       ///< solver reported unbounded (model corruption)
+};
+
+const char* to_string(FailureReason reason) noexcept;
+
+/// Maps a failed solve status onto the reason recorded for the hour.
+FailureReason failure_reason_from(lp::SolveStatus status) noexcept;
 
 /// One invocation of the two-step bill capping algorithm (Section III).
 struct CappingOutcome {
@@ -23,15 +40,43 @@ struct CappingOutcome {
   double served_premium = 0.0;   ///< requests/hour with guaranteed QoS
   double served_ordinary = 0.0;  ///< best-effort requests/hour served
   double dropped_capacity = 0.0; ///< arrivals beyond physical capacity
+
+  /// Degradation ladder bookkeeping: optimal -> incumbent -> greedy
+  /// heuristic. `degraded` is true whenever any step fell off the top rung.
+  bool degraded = false;
+  FailureReason failure = FailureReason::kNone;
+  bool used_incumbent = false;  ///< reused a limit-terminated solve's best
+  bool used_heuristic = false;  ///< greedy water-filling produced the hour
 };
 
 const char* to_string(CappingOutcome::Mode mode) noexcept;
+
+/// Per-call environment overrides for fault injection and degraded
+/// operation. All spans are either empty (no override) or one entry per
+/// site.
+struct DecideOptions {
+  /// 0 = site is down this hour (capacity forced to zero, surviving sites
+  /// absorb the load). Empty = all sites up.
+  std::span<const std::uint8_t> site_available{};
+  /// The background demand the *optimizer believes* (a stale market feed);
+  /// ground-truth billing still uses the real demand. Empty = fresh feed.
+  std::span<const double> believed_demand_mw{};
+  /// Wall-clock deadline for each MILP solve this hour; >= 0 overrides the
+  /// configured MilpOptions::time_limit_ms, < 0 keeps it.
+  double time_limit_ms = -1.0;
+};
 
 /// The bill capper: per invocation period, first minimize cost for the full
 /// workload; if the predicted cost exceeds the hourly budget, re-solve as
 /// throughput maximization within the budget, admission-controlling only
 /// ordinary customers; if even the premium workload cannot fit, serve
 /// premium at minimum cost and accept the violation.
+///
+/// decide() never throws on solver trouble: a limit-terminated solve's
+/// incumbent is reused when feasible, otherwise the greedy fallback
+/// allocator produces the hour, and the outcome is tagged degraded. Only
+/// caller bugs (negative arrivals, size mismatches) raise
+/// std::invalid_argument.
 ///
 /// Holds references to the site and policy catalogs — the caller keeps them
 /// alive for the capper's lifetime (the Simulator owns both).
@@ -49,6 +94,12 @@ class BillCapper {
   CappingOutcome decide(double lambda_premium, double lambda_ordinary,
                         std::span<const double> other_demand_mw,
                         double hourly_budget) const;
+
+  /// Same, with fault-injection / degraded-mode overrides.
+  CappingOutcome decide(double lambda_premium, double lambda_ordinary,
+                        std::span<const double> other_demand_mw,
+                        double hourly_budget,
+                        const DecideOptions& overrides) const;
 
  private:
   const std::vector<datacenter::DataCenter>& sites_;

@@ -1,0 +1,133 @@
+#include "core/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace billcap::core {
+
+namespace {
+
+/// Uniform integer duration in [1, 2*mean - 1] (mean preserved, never 0).
+std::size_t draw_duration(util::Rng& rng, std::size_t mean_hours) {
+  const std::size_t mean = std::max<std::size_t>(1, mean_hours);
+  return 1 + static_cast<std::size_t>(rng.below(2 * mean - 1));
+}
+
+}  // namespace
+
+FaultPlan generate_fault_plan(const FaultRates& rates,
+                              std::size_t horizon_hours,
+                              std::size_t num_sites, std::uint64_t seed) {
+  FaultPlan plan;
+  // One independent stream per fault kind, so enabling one kind never
+  // shifts the draws of another (rate sweeps stay comparable).
+  util::Rng outage_rng(seed ^ 0x6f75746167655ULL);
+  util::Rng stale_rng(seed ^ 0x7374616c65ULL);
+  util::Rng shock_rng(seed ^ 0x73686f636bULL);
+  util::Rng squeeze_rng(seed ^ 0x73717565657aULL);
+
+  for (std::size_t h = 0; h < horizon_hours; ++h) {
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      if (rates.outage_rate > 0.0 && outage_rng.bernoulli(rates.outage_rate))
+        plan.outages.push_back(
+            {s, h, draw_duration(outage_rng, rates.outage_mean_hours)});
+      if (rates.shock_rate > 0.0 && shock_rng.bernoulli(rates.shock_rate))
+        plan.demand_shocks.push_back(
+            {s, h, draw_duration(shock_rng, rates.shock_mean_hours),
+             rates.shock_multiplier});
+    }
+    if (rates.stale_rate > 0.0 && stale_rng.bernoulli(rates.stale_rate))
+      plan.stale_intervals.push_back(
+          {h, draw_duration(stale_rng, rates.stale_mean_hours)});
+    if (rates.squeeze_rate > 0.0 && squeeze_rng.bernoulli(rates.squeeze_rate))
+      plan.deadline_squeezes.push_back(
+          {h, draw_duration(squeeze_rng, rates.squeeze_mean_hours),
+           rates.squeeze_ms});
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_sites,
+                             std::size_t horizon_hours)
+    : enabled_(!plan.empty()),
+      num_sites_(num_sites),
+      horizon_(horizon_hours) {
+  if (!enabled_) return;
+  down_.assign(num_sites_ * horizon_, 0);
+  multiplier_.assign(num_sites_ * horizon_, 1.0);
+  deadline_ms_.assign(horizon_, 0.0);
+  observed_hour_.resize(horizon_);
+  for (std::size_t h = 0; h < horizon_; ++h) observed_hour_[h] = h;
+
+  const auto clip_end = [this](std::size_t start, std::size_t duration) {
+    return std::min(horizon_, start + duration);
+  };
+
+  for (const auto& outage : plan.outages) {
+    if (outage.site >= num_sites_) continue;
+    for (std::size_t h = outage.start_hour;
+         h < clip_end(outage.start_hour, outage.duration_hours); ++h)
+      down_[outage.site * horizon_ + h] = 1;
+  }
+  for (const auto& shock : plan.demand_shocks) {
+    if (shock.site >= num_sites_) continue;
+    for (std::size_t h = shock.start_hour;
+         h < clip_end(shock.start_hour, shock.duration_hours); ++h)
+      multiplier_[shock.site * horizon_ + h] *= shock.multiplier;
+  }
+  for (const auto& stale : plan.stale_intervals) {
+    // The feed shows the last hour seen before the interval began; an
+    // interval starting at hour 0 pins the whole stretch to hour 0's data.
+    const std::size_t seen =
+        stale.start_hour == 0 ? 0 : stale.start_hour - 1;
+    for (std::size_t h = stale.start_hour;
+         h < clip_end(stale.start_hour, stale.duration_hours); ++h)
+      observed_hour_[h] = std::min(observed_hour_[h], seen);
+  }
+  for (const auto& squeeze : plan.deadline_squeezes) {
+    if (squeeze.time_limit_ms <= 0.0) continue;
+    for (std::size_t h = squeeze.start_hour;
+         h < clip_end(squeeze.start_hour, squeeze.duration_hours); ++h)
+      deadline_ms_[h] = deadline_ms_[h] <= 0.0
+                            ? squeeze.time_limit_ms
+                            : std::min(deadline_ms_[h], squeeze.time_limit_ms);
+  }
+}
+
+bool FaultInjector::site_available(std::size_t site,
+                                   std::size_t hour) const noexcept {
+  if (!enabled_ || site >= num_sites_ || hour >= horizon_) return true;
+  return down_[site * horizon_ + hour] == 0;
+}
+
+std::size_t FaultInjector::sites_down(std::size_t hour) const noexcept {
+  if (!enabled_ || hour >= horizon_) return 0;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < num_sites_; ++s)
+    count += down_[s * horizon_ + hour];
+  return count;
+}
+
+bool FaultInjector::prices_stale(std::size_t hour) const noexcept {
+  return observed_market_hour(hour) != hour;
+}
+
+std::size_t FaultInjector::observed_market_hour(
+    std::size_t hour) const noexcept {
+  if (!enabled_ || hour >= horizon_) return hour;
+  return observed_hour_[hour];
+}
+
+double FaultInjector::demand_multiplier(std::size_t site,
+                                        std::size_t hour) const noexcept {
+  if (!enabled_ || site >= num_sites_ || hour >= horizon_) return 1.0;
+  return multiplier_[site * horizon_ + hour];
+}
+
+double FaultInjector::solver_deadline_ms(std::size_t hour) const noexcept {
+  if (!enabled_ || hour >= horizon_) return 0.0;
+  return deadline_ms_[hour];
+}
+
+}  // namespace billcap::core

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace billcap::core {
+
+/// A deterministic schedule of operational hazards injected into the
+/// closed-loop month: site outages, stale market-data feeds, background
+/// demand shocks and solver-deadline squeezes. Hours are month-local
+/// (0 = first evaluation hour); intervals are [start, start + duration).
+/// The plan is plain data — build it by hand for targeted scenarios or via
+/// generate_fault_plan for rate-driven sweeps.
+struct FaultPlan {
+  /// A site's capacity is forced to zero for the interval; surviving sites
+  /// absorb what they can and the rest is shed.
+  struct SiteOutage {
+    std::size_t site = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+  };
+  /// The market feed freezes: the optimizer plans every hour of the
+  /// interval against the background demand last seen before it started,
+  /// while ground-truth billing uses the real demand.
+  struct StaleInterval {
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+  };
+  /// Background demand at one site is multiplied for the interval (a
+  /// heat-wave or industrial surge at that location).
+  struct DemandShock {
+    std::size_t site = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    double multiplier = 1.0;
+  };
+  /// Every MILP solve in the interval gets a hard wall-clock deadline (an
+  /// overloaded control node must still produce an allocation on time).
+  struct DeadlineSqueeze {
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    double time_limit_ms = 0.0;
+  };
+
+  std::vector<SiteOutage> outages;
+  std::vector<StaleInterval> stale_intervals;
+  std::vector<DemandShock> demand_shocks;
+  std::vector<DeadlineSqueeze> deadline_squeezes;
+
+  bool empty() const noexcept {
+    return outages.empty() && stale_intervals.empty() &&
+           demand_shocks.empty() && deadline_squeezes.empty();
+  }
+};
+
+/// Per-hour fault *rates* for randomized resilience sweeps. A fault of each
+/// kind starts independently each hour with the given probability;
+/// durations are drawn uniformly in [1, 2 * mean - 1] so the mean holds.
+struct FaultRates {
+  double outage_rate = 0.0;        ///< per site-hour
+  std::size_t outage_mean_hours = 6;
+  double stale_rate = 0.0;         ///< per hour
+  std::size_t stale_mean_hours = 4;
+  double shock_rate = 0.0;         ///< per site-hour
+  std::size_t shock_mean_hours = 3;
+  double shock_multiplier = 1.5;
+  double squeeze_rate = 0.0;       ///< per hour
+  std::size_t squeeze_mean_hours = 2;
+  double squeeze_ms = 5.0;
+
+  bool any() const noexcept {
+    return outage_rate > 0.0 || stale_rate > 0.0 || shock_rate > 0.0 ||
+           squeeze_rate > 0.0;
+  }
+};
+
+/// Draws a FaultPlan from the rates, deterministically in `seed`: the same
+/// (rates, horizon, num_sites, seed) quadruple always yields the same plan.
+FaultPlan generate_fault_plan(const FaultRates& rates,
+                              std::size_t horizon_hours,
+                              std::size_t num_sites, std::uint64_t seed);
+
+/// Precomputed per-hour view of a FaultPlan, the object the simulator
+/// queries inside the hourly loop. Hours at or beyond the horizon report
+/// "no fault" (multi-month runs outlive a month-scoped plan).
+class FaultInjector {
+ public:
+  /// No faults at all (default-constructed injector is free to query).
+  FaultInjector() = default;
+
+  FaultInjector(const FaultPlan& plan, std::size_t num_sites,
+                std::size_t horizon_hours);
+
+  bool enabled() const noexcept { return enabled_; }
+
+  bool site_available(std::size_t site, std::size_t hour) const noexcept;
+  /// Number of sites down this hour.
+  std::size_t sites_down(std::size_t hour) const noexcept;
+
+  bool prices_stale(std::size_t hour) const noexcept;
+  /// The hour whose market data the optimizer actually observes: `hour`
+  /// when the feed is fresh, the last pre-interval hour when stale.
+  std::size_t observed_market_hour(std::size_t hour) const noexcept;
+
+  double demand_multiplier(std::size_t site, std::size_t hour) const noexcept;
+
+  /// Wall-clock MILP deadline for the hour in ms; 0 = no squeeze. When
+  /// several squeezes overlap, the tightest wins.
+  double solver_deadline_ms(std::size_t hour) const noexcept;
+
+ private:
+  bool enabled_ = false;
+  std::size_t num_sites_ = 0;
+  std::size_t horizon_ = 0;
+  std::vector<std::uint8_t> down_;          // [site * horizon + hour]
+  std::vector<std::size_t> observed_hour_;  // [hour]
+  std::vector<double> multiplier_;          // [site * horizon + hour]
+  std::vector<double> deadline_ms_;         // [hour]
+};
+
+}  // namespace billcap::core

@@ -145,7 +145,11 @@ AllocationResult decode_solution(const AllocationFormulation& formulation,
   out.status = solution.status;
   out.nodes = solution.nodes;
   out.iterations = solution.iterations;
-  if (!solution.ok()) return out;
+  // Decode a limit-terminated solve's best incumbent too: a feasible
+  // integral allocation the degraded control loop can act on even though
+  // optimality was never proven.
+  if (!solution.has_incumbent()) return out;
+  out.feasible = true;
 
   out.sites.resize(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {

@@ -108,8 +108,17 @@ struct AllocationResult {
   double predicted_cost = 0.0;
   long nodes = 0;
   long iterations = 0;
+  /// True when `sites` holds a feasible allocation: a proven optimum, the
+  /// best incumbent of a limit-terminated branch-and-bound, or the greedy
+  /// fallback heuristic. Degraded-mode consumers check this, not ok().
+  bool feasible = false;
+  /// True when the allocation came from the greedy fallback heuristic
+  /// rather than a MILP solve.
+  bool heuristic = false;
 
   bool ok() const noexcept { return status == lp::SolveStatus::kOptimal; }
+  /// Feasible-but-not-proven-optimal: usable by the degraded control loop.
+  bool usable() const noexcept { return ok() || feasible; }
   /// The per-site request rates as a plain vector (simulator interface).
   std::vector<double> lambda_vector() const;
 };

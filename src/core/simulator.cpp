@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/baselines.hpp"
+#include "core/fallback_allocator.hpp"
 #include "datacenter/catalog.hpp"
 #include "market/background_demand.hpp"
 #include "util/calendar.hpp"
@@ -17,6 +18,22 @@ namespace {
 double elapsed_ms(std::chrono::steady_clock::time_point start) {
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Folds one finished hour into the month's aggregates.
+void accumulate(MonthlyResult& result, HourRecord&& rec) {
+  result.total_cost += rec.cost;
+  result.total_premium_arrivals += rec.premium_arrivals;
+  result.total_ordinary_arrivals += rec.ordinary_arrivals;
+  result.total_served_premium += rec.served_premium;
+  result.total_served_ordinary += rec.served_ordinary;
+  result.max_solve_ms = std::max(result.max_solve_ms, rec.solve_ms);
+  result.degraded_hours += rec.degraded ? 1 : 0;
+  result.incumbent_hours += rec.used_incumbent ? 1 : 0;
+  result.heuristic_hours += rec.used_heuristic ? 1 : 0;
+  result.outage_hours += rec.sites_down > 0 ? 1 : 0;
+  result.stale_hours += rec.stale_prices ? 1 : 0;
+  result.hours.push_back(std::move(rec));
 }
 
 }  // namespace
@@ -118,6 +135,19 @@ Simulator::Simulator(SimulationConfig config)
   budgeter_ = Budgeter(config_.monthly_budget, std::move(weights),
                        evaluation_.hours(),
                        util::hour_of_week(history_.hours()));
+
+  // Fault schedule for the evaluation month: an explicit plan wins over
+  // rate-driven generation; both derive only from the config, so a run is
+  // deterministic in (seed, plan/rates).
+  if (!config_.fault_plan.empty()) {
+    injector_ =
+        FaultInjector(config_.fault_plan, sites_.size(), evaluation_.hours());
+  } else if (config_.fault_rates.any()) {
+    injector_ = FaultInjector(
+        generate_fault_plan(config_.fault_rates, evaluation_.hours(),
+                            sites_.size(), config_.seed ^ 0xfa0171737c0deULL),
+        sites_.size(), evaluation_.hours());
+  }
 }
 
 std::vector<double> Simulator::demand_at(std::size_t hour) const {
@@ -130,20 +160,63 @@ std::vector<double> Simulator::demand_at(std::size_t hour) const {
 HourRecord Simulator::run_hour_cost_capping(const BillCapper& capper,
                                             std::size_t hour,
                                             double spent_so_far) const {
-  const workload::PremiumSplit split(config_.premium_share);
-  const double arrivals = evaluation_.at(hour);
-  const double premium = split.premium(arrivals);
-  const double ordinary = split.ordinary(arrivals);
-  const std::vector<double> d = demand_at(hour);
-
   // Without budget enforcement the capper still runs, but against an
   // unlimited budget: exactly step 1 (used for Figures 3 and 4).
   const double budget = config_.enforce_budget
                             ? budgeter_.hourly_budget(hour, spent_so_far)
                             : 1e18;
+  return run_capping_hour(capper, hour, hour, evaluation_.at(hour),
+                          demand_at(hour), budget);
+}
+
+HourRecord Simulator::run_capping_hour(const BillCapper& capper,
+                                       std::size_t hour,
+                                       std::size_t fault_hour,
+                                       double arrivals,
+                                       std::vector<double> raw_demand,
+                                       double budget) const {
+  const workload::PremiumSplit split(config_.premium_share);
+  const double premium = split.premium(arrivals);
+  const double ordinary = split.ordinary(arrivals);
+  const std::size_t n = sites_.size();
+
+  // Ground-truth demand carries the hour's injected shocks; the believed
+  // demand is what the (possibly stale) market feed shows the optimizer.
+  std::vector<double> d = std::move(raw_demand);
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] *= injector_.demand_multiplier(i, fault_hour);
+
+  DecideOptions overrides;
+  std::vector<std::uint8_t> available;
+  std::vector<double> believed;
+  std::size_t sites_down = 0;
+  bool stale = false;
+  if (injector_.enabled()) {
+    available.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      available[i] = injector_.site_available(i, fault_hour) ? 1 : 0;
+      sites_down += available[i] ? 0 : 1;
+    }
+    overrides.site_available = available;
+
+    const std::size_t observed = injector_.observed_market_hour(fault_hour);
+    stale = observed != fault_hour;
+    if (stale) {
+      // The feed froze at `observed`: the optimizer plans against that
+      // hour's demand (including its shocks) while billing uses today's.
+      believed = demand_at(std::min(observed, evaluation_.hours() - 1));
+      for (std::size_t i = 0; i < n; ++i)
+        believed[i] *= injector_.demand_multiplier(i, observed);
+      overrides.believed_demand_mw = believed;
+    }
+
+    const double squeeze = injector_.solver_deadline_ms(fault_hour);
+    if (squeeze > 0.0) overrides.time_limit_ms = squeeze;
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  const CappingOutcome outcome = capper.decide(premium, ordinary, d, budget);
+  const CappingOutcome outcome =
+      capper.decide(premium, ordinary, d, budget, overrides);
   const double ms = elapsed_ms(start);
 
   const GroundTruth truth = evaluate_allocation(
@@ -166,6 +239,12 @@ HourRecord Simulator::run_hour_cost_capping(const BillCapper& capper,
     rec.site_power_mw.push_back(site.power.total_mw());
   rec.solve_ms = ms;
   rec.nodes = outcome.allocation.nodes;
+  rec.degraded = outcome.degraded;
+  rec.failure = outcome.failure;
+  rec.used_incumbent = outcome.used_incumbent;
+  rec.used_heuristic = outcome.used_heuristic;
+  rec.sites_down = sites_down;
+  rec.stale_prices = stale;
   return rec;
 }
 
@@ -173,23 +252,57 @@ HourRecord Simulator::run_hour_min_only(std::size_t hour,
                                         MinOnlyPriceModel price_model) const {
   const workload::PremiumSplit split(config_.premium_share);
   const double arrivals = evaluation_.at(hour);
-  const std::vector<double> d = demand_at(hour);
+  const std::size_t n = sites_.size();
+
+  // Ground-truth demand carries the hour's injected shocks. (Min-Only
+  // believes a flat price, so a stale market feed cannot mislead it — only
+  // outages and the solver deadline bite.)
+  std::vector<double> d = demand_at(hour);
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] *= injector_.demand_multiplier(i, hour);
 
   // Min-Only admits everything it physically can (it knows no budget);
   // arrivals beyond its believed capacity are shed like any dispatcher
-  // would.
-  const std::vector<SiteModel> believed = min_only_site_models(
+  // would. A site down this hour has no capacity to offer.
+  std::vector<SiteModel> believed = min_only_site_models(
       sites_, policies_, price_model);
+  std::size_t sites_down = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!injector_.site_available(i, hour)) {
+      believed[i].lambda_max = 0.0;
+      ++sites_down;
+    }
+  }
   const double admitted = std::min(arrivals, system_capacity(believed));
 
+  OptimizerOptions opts = config_.optimizer;
+  const double squeeze = injector_.solver_deadline_ms(hour);
+  if (squeeze > 0.0) opts.milp.time_limit_ms = squeeze;
+
   const auto start = std::chrono::steady_clock::now();
-  const AllocationResult allocation =
-      min_only_allocate(sites_, policies_, admitted, price_model,
-                        config_.optimizer);
+  AllocationResult allocation =
+      minimize_cost_over_models(believed, admitted, opts);
   const double ms = elapsed_ms(start);
-  if (!allocation.ok())
-    throw std::runtime_error("Simulator: Min-Only allocation failed at hour " +
-                             std::to_string(hour));
+
+  // Degradation ladder, same as the capper's: incumbent, then greedy
+  // water-filling. The baseline must not abort the month either.
+  bool degraded = false;
+  bool used_incumbent = false;
+  bool used_heuristic = false;
+  FailureReason failure = FailureReason::kNone;
+  if (!allocation.ok()) {
+    degraded = true;
+    failure = failure_reason_from(allocation.status);
+    if (allocation.feasible) {
+      used_incumbent = true;
+    } else {
+      allocation = fallback_allocate(
+          believed, FallbackRequest{admitted, 0.0, lp::kInfinity});
+      used_heuristic = true;
+    }
+  }
+  const double placed =
+      used_heuristic ? std::min(admitted, allocation.total_lambda) : admitted;
 
   const GroundTruth truth =
       evaluate_allocation(sites_, policies_, d, allocation.lambda_vector());
@@ -201,9 +314,9 @@ HourRecord Simulator::run_hour_min_only(std::size_t hour,
   rec.ordinary_arrivals = split.ordinary(arrivals);
   // Min-Only serves everything admitted regardless of cost (Section VII-C);
   // capacity shedding drops ordinary traffic first.
-  rec.served_premium = std::min(rec.premium_arrivals, admitted);
+  rec.served_premium = std::min(rec.premium_arrivals, placed);
   rec.served_ordinary =
-      std::min(rec.ordinary_arrivals, admitted - rec.served_premium);
+      std::min(rec.ordinary_arrivals, placed - rec.served_premium);
   rec.cost = truth.total_cost;
   rec.predicted_cost = allocation.predicted_cost;
   rec.site_lambda = allocation.lambda_vector();
@@ -212,6 +325,11 @@ HourRecord Simulator::run_hour_min_only(std::size_t hour,
     rec.site_power_mw.push_back(site.power.total_mw());
   rec.solve_ms = ms;
   rec.nodes = allocation.nodes;
+  rec.degraded = degraded;
+  rec.failure = failure;
+  rec.used_incumbent = used_incumbent;
+  rec.used_heuristic = used_heuristic;
+  rec.sites_down = sites_down;
   return rec;
 }
 
@@ -228,7 +346,6 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
       workload::generate_wiki_trace(config_.workload, total, config_.seed);
   const auto full_demand =
       market::paper_background_demand(total, config_.seed ^ 0x9e3779b9);
-  const workload::PremiumSplit split(config_.premium_share);
   const BillCapper capper(sites_, policies_, config_.optimizer);
 
   std::vector<MonthlyResult> results;
@@ -248,9 +365,6 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
     double spent = 0.0;
     for (std::size_t h = 0; h < kMonthHours; ++h) {
       const std::size_t g = start + h;
-      const double arrivals = full.at(g);
-      const double premium = split.premium(arrivals);
-      const double ordinary = split.ordinary(arrivals);
       std::vector<double> d;
       d.reserve(full_demand.size());
       for (const auto& series : full_demand) d.push_back(series[g]);
@@ -258,38 +372,12 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
                                 ? budgeter.hourly_budget(h, spent)
                                 : 1e18;
 
-      const auto t0 = std::chrono::steady_clock::now();
-      const CappingOutcome outcome =
-          capper.decide(premium, ordinary, d, budget);
-      const double ms = elapsed_ms(t0);
-      const GroundTruth truth = evaluate_allocation(
-          sites_, policies_, d, outcome.allocation.lambda_vector());
-
-      HourRecord rec;
-      rec.hour = h;
-      rec.arrivals = arrivals;
-      rec.premium_arrivals = premium;
-      rec.ordinary_arrivals = ordinary;
-      rec.served_premium = outcome.served_premium;
-      rec.served_ordinary = outcome.served_ordinary;
-      rec.hourly_budget = config_.enforce_budget ? outcome.hourly_budget : 0.0;
-      rec.cost = truth.total_cost;
-      rec.predicted_cost = outcome.allocation.predicted_cost;
-      rec.mode = outcome.mode;
-      rec.site_lambda = outcome.allocation.lambda_vector();
-      for (const auto& site : truth.sites)
-        rec.site_power_mw.push_back(site.power.total_mw());
-      rec.solve_ms = ms;
-      rec.nodes = outcome.allocation.nodes;
-
+      // Fault hours continue across months; the month-scoped plan only
+      // covers month 0, later hours report fault-free.
+      HourRecord rec = run_capping_hour(capper, h, m * kMonthHours + h,
+                                        full.at(g), std::move(d), budget);
       spent += rec.cost;
-      result.total_cost += rec.cost;
-      result.total_premium_arrivals += rec.premium_arrivals;
-      result.total_ordinary_arrivals += rec.ordinary_arrivals;
-      result.total_served_premium += rec.served_premium;
-      result.total_served_ordinary += rec.served_ordinary;
-      result.max_solve_ms = std::max(result.max_solve_ms, rec.solve_ms);
-      result.hours.push_back(std::move(rec));
+      accumulate(result, std::move(rec));
     }
     results.push_back(std::move(result));
   }
@@ -318,13 +406,7 @@ MonthlyResult Simulator::run(Strategy strategy) const {
         break;
     }
     spent += rec.cost;
-    result.total_cost += rec.cost;
-    result.total_premium_arrivals += rec.premium_arrivals;
-    result.total_ordinary_arrivals += rec.ordinary_arrivals;
-    result.total_served_premium += rec.served_premium;
-    result.total_served_ordinary += rec.served_ordinary;
-    result.max_solve_ms = std::max(result.max_solve_ms, rec.solve_ms);
-    result.hours.push_back(std::move(rec));
+    accumulate(result, std::move(rec));
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include "core/bill_capper.hpp"
 #include "core/budgeter.hpp"
 #include "core/cost_model.hpp"
+#include "core/fault_injector.hpp"
 #include "datacenter/datacenter.hpp"
 #include "market/pricing_policy.hpp"
 #include "workload/trace.hpp"
@@ -43,6 +44,13 @@ struct SimulationConfig {
   std::uint64_t history_seed_offset = 0;
   workload::WikiSynthParams workload;  ///< trace shape
   OptimizerOptions optimizer;          ///< MILP knobs / power-model ablation
+
+  /// Operational hazards injected into the evaluation month. An explicit
+  /// plan wins; otherwise nonzero `fault_rates` draw a plan from the
+  /// simulation seed (deterministically). Both empty = fault-free run,
+  /// bit-identical to the pre-fault-framework behaviour.
+  FaultPlan fault_plan;
+  FaultRates fault_rates;
 };
 
 /// The strategies compared in the evaluation.
@@ -69,6 +77,15 @@ struct HourRecord {
   std::vector<double> site_power_mw;  ///< ground-truth draw per site
   double solve_ms = 0.0;              ///< optimizer wall time
   long nodes = 0;                     ///< branch-and-bound nodes
+
+  /// Degraded-mode bookkeeping: true when a fallback (incumbent reuse or
+  /// greedy heuristic) produced the hour, with the root-cause reason.
+  bool degraded = false;
+  FailureReason failure = FailureReason::kNone;
+  bool used_incumbent = false;
+  bool used_heuristic = false;
+  std::size_t sites_down = 0;   ///< injected outages active this hour
+  bool stale_prices = false;    ///< optimizer planned on a stale feed
 };
 
 /// A full month of records plus the aggregates the figures report.
@@ -83,6 +100,13 @@ struct MonthlyResult {
   double total_served_premium = 0.0;
   double total_served_ordinary = 0.0;
   double max_solve_ms = 0.0;
+
+  /// Aggregate degradation counters (graceful-degradation observability).
+  std::size_t degraded_hours = 0;   ///< hours produced by any fallback
+  std::size_t incumbent_hours = 0;  ///< hours reusing a limit-solve's best
+  std::size_t heuristic_hours = 0;  ///< hours from greedy water-filling
+  std::size_t outage_hours = 0;     ///< hours with >= 1 injected site down
+  std::size_t stale_hours = 0;      ///< hours planned on a stale feed
 
   /// Served premium / arriving premium (1.0 = full QoS coverage).
   double premium_throughput_ratio() const noexcept;
@@ -117,6 +141,7 @@ class Simulator {
     return demand_;
   }
   const Budgeter& budgeter() const noexcept { return budgeter_; }
+  const FaultInjector& fault_injector() const noexcept { return injector_; }
 
   /// Runs the whole month under one strategy.
   MonthlyResult run(Strategy strategy) const;
@@ -132,6 +157,14 @@ class Simulator {
  private:
   HourRecord run_hour_cost_capping(const BillCapper& capper, std::size_t hour,
                                    double spent_so_far) const;
+  /// Shared core of run()'s and run_months()'s cost-capping hour:
+  /// `fault_hour` indexes the fault injector (month-scoped plans do not
+  /// repeat in later months), `raw_demand` is the unshocked background
+  /// demand for the hour.
+  HourRecord run_capping_hour(const BillCapper& capper, std::size_t hour,
+                              std::size_t fault_hour, double arrivals,
+                              std::vector<double> raw_demand,
+                              double budget) const;
   HourRecord run_hour_min_only(std::size_t hour,
                                MinOnlyPriceModel price_model) const;
   std::vector<double> demand_at(std::size_t hour) const;
@@ -143,6 +176,7 @@ class Simulator {
   workload::Trace evaluation_;
   std::vector<std::vector<double>> demand_;  // [site][hour of eval month]
   Budgeter budgeter_;
+  FaultInjector injector_;
 };
 
 }  // namespace billcap::core

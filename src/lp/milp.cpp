@@ -1,6 +1,7 @@
 #include "lp/milp.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -47,8 +48,18 @@ Solution solve_milp(const Problem& problem, const MilpOptions& options) {
   long total_iterations = 0;
   long nodes = 0;
   bool hit_node_limit = false;
+  bool hit_time_limit = false;
   double root_bound = -kInfinity;
   bool root_known = false;
+
+  const bool deadline_armed = options.time_limit_ms > 0.0;
+  const auto deadline_start = std::chrono::steady_clock::now();
+  const auto past_deadline = [&]() {
+    if (!deadline_armed) return false;
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - deadline_start)
+               .count() >= options.time_limit_ms;
+  };
 
   // Depth-first stack; children of the most recently expanded node first.
   std::vector<Node> stack;
@@ -58,6 +69,10 @@ Solution solve_milp(const Problem& problem, const MilpOptions& options) {
   while (!stack.empty()) {
     if (nodes >= options.max_nodes) {
       hit_node_limit = true;
+      break;
+    }
+    if (past_deadline()) {
+      hit_time_limit = true;
       break;
     }
     Node node = std::move(stack.back());
@@ -168,19 +183,22 @@ Solution solve_milp(const Problem& problem, const MilpOptions& options) {
 
   best.nodes = nodes;
   best.iterations = total_iterations;
+  const bool cut_short = hit_node_limit || hit_time_limit;
   if (best.status == SolveStatus::kOptimal) {
     // Best proven bound: the weakest of what remains on the stack, or the
     // incumbent itself when the search completed.
     double open_bound = incumbent;
-    if (hit_node_limit) {
+    if (cut_short) {
       for (const Node& nd : stack)
         open_bound = std::min(open_bound, nd.parent_bound);
       open_bound = std::max(open_bound, root_known ? root_bound : -kInfinity);
     }
     best.best_bound = maximize ? -open_bound : open_bound;
-    if (hit_node_limit) best.status = SolveStatus::kNodeLimit;
-  } else if (hit_node_limit) {
-    best.status = SolveStatus::kNodeLimit;
+    if (hit_time_limit) best.status = SolveStatus::kTimeLimit;
+    else if (hit_node_limit) best.status = SolveStatus::kNodeLimit;
+  } else if (cut_short) {
+    best.status = hit_time_limit ? SolveStatus::kTimeLimit
+                                 : SolveStatus::kNodeLimit;
   }
   return best;
 }

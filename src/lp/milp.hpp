@@ -12,6 +12,11 @@ struct MilpOptions {
   double integrality_tol = 1e-6;   ///< |x - round(x)| treated as integral
   double relative_gap = 1e-9;      ///< stop when bound and incumbent close
   double absolute_gap = 1e-9;
+  /// Wall-clock deadline for the whole branch-and-bound search in
+  /// milliseconds; <= 0 disables the deadline. On expiry the best incumbent
+  /// found so far is returned with SolveStatus::kTimeLimit (an hourly
+  /// control loop must never block on one stubborn solve).
+  double time_limit_ms = 0.0;
   SimplexOptions lp;               ///< options for each relaxation solve
 };
 

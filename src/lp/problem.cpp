@@ -132,6 +132,7 @@ const char* to_string(SolveStatus status) noexcept {
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration_limit";
     case SolveStatus::kNodeLimit: return "node_limit";
+    case SolveStatus::kTimeLimit: return "time_limit";
   }
   return "unknown";
 }

@@ -121,6 +121,7 @@ enum class SolveStatus {
   kUnbounded,
   kIterationLimit,
   kNodeLimit,
+  kTimeLimit,
 };
 
 /// Printable status name.
@@ -137,6 +138,16 @@ struct Solution {
   double best_bound = 0.0;       ///< MILP: proven bound on the optimum
 
   bool ok() const noexcept { return status == SolveStatus::kOptimal; }
+
+  /// True when `x` holds a feasible assignment: proven optimal, or the best
+  /// incumbent found before a node/time limit cut the search short.
+  /// Degraded-mode callers may act on such a solution without optimality.
+  bool has_incumbent() const noexcept {
+    return !x.empty() &&
+           (status == SolveStatus::kOptimal ||
+            status == SolveStatus::kNodeLimit ||
+            status == SolveStatus::kTimeLimit);
+  }
 };
 
 }  // namespace billcap::lp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -127,6 +128,123 @@ TEST_F(BillCapperTest, ZeroArrivalsZeroCost) {
   const CappingOutcome outcome = capper_.decide(0.0, 0.0, demand_, 100.0);
   EXPECT_EQ(outcome.mode, CappingOutcome::Mode::kUncapped);
   EXPECT_NEAR(outcome.allocation.predicted_cost, 0.0, 1e-9);
+}
+
+// Checks the degraded allocation against the believed per-site limits: SLA
+// capacity and power cap must hold no matter which ladder rung produced it.
+void expect_within_site_limits(
+    const CappingOutcome& outcome,
+    const std::vector<datacenter::DataCenter>& sites,
+    const std::vector<market::PricingPolicy>& policies,
+    const std::vector<double>& demand) {
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const SiteModel model = make_site_model(sites[i], policies[i], demand[i]);
+    EXPECT_LE(outcome.allocation.sites[i].lambda,
+              model.lambda_max * (1.0 + 1e-9))
+        << i;
+    EXPECT_LE(outcome.allocation.sites[i].power_mw,
+              model.power_cap_mw * (1.0 + 1e-9))
+        << i;
+  }
+}
+
+TEST_F(BillCapperTest, NodeStarvedSolverDegradesGracefully) {
+  // max_nodes = 1: branch-and-bound cannot finish a single branching, so
+  // every solve dies. decide() must not throw and must still return a
+  // feasible, capacity- and cap-respecting allocation, tagged degraded.
+  OptimizerOptions opts;
+  opts.milp.max_nodes = 1;
+  const BillCapper starved(sites_, policies_, opts);
+  const CappingOutcome outcome = starved.decide(4.8e11, 1.2e11, demand_, 1e7);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_NE(outcome.failure, FailureReason::kNone);
+  EXPECT_TRUE(outcome.used_incumbent || outcome.used_heuristic);
+  EXPECT_TRUE(outcome.allocation.usable());
+  EXPECT_GT(outcome.served_premium, 0.0);
+  EXPECT_LE(outcome.served_premium, 4.8e11 * (1.0 + 1e-9));
+  expect_within_site_limits(outcome, sites_, policies_, demand_);
+}
+
+TEST_F(BillCapperTest, ExpiredDeadlineDegradesGracefully) {
+  DecideOptions overrides;
+  overrides.time_limit_ms = 1e-9;  // expires before the first node
+  const CappingOutcome outcome =
+      capper_.decide(4.8e11, 1.2e11, demand_, 1e7, overrides);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_EQ(outcome.failure, FailureReason::kTimeLimit);
+  EXPECT_TRUE(outcome.allocation.usable());
+  EXPECT_GT(outcome.served_premium, 0.0);
+  expect_within_site_limits(outcome, sites_, policies_, demand_);
+}
+
+TEST_F(BillCapperTest, NodeStarvedTightBudgetStillGuaranteesPremium) {
+  OptimizerOptions opts;
+  opts.milp.max_nodes = 1;
+  const BillCapper starved(sites_, policies_, opts);
+  // A budget that forces step 2 (and its fallback) to engage.
+  const CappingOutcome outcome =
+      starved.decide(4.8e11, 1.2e11, demand_, 1500.0);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_NEAR(outcome.served_premium, 4.8e11, 4.8e11 * 1e-6);
+  expect_within_site_limits(outcome, sites_, policies_, demand_);
+}
+
+TEST_F(BillCapperTest, DownedSiteTakesNoLoad) {
+  const std::vector<std::uint8_t> available = {1, 0, 1};
+  DecideOptions overrides;
+  overrides.site_available = available;
+  const CappingOutcome outcome =
+      capper_.decide(4.8e11, 1.2e11, demand_, 1e7, overrides);
+  EXPECT_DOUBLE_EQ(outcome.allocation.sites[1].lambda, 0.0);
+  EXPECT_GT(outcome.allocation.sites[0].lambda +
+                outcome.allocation.sites[2].lambda,
+            0.0);
+  // The clean solve over the surviving sites is not itself degraded.
+  EXPECT_FALSE(outcome.degraded);
+}
+
+TEST_F(BillCapperTest, AllSitesDownShedsEverything) {
+  const std::vector<std::uint8_t> available = {0, 0, 0};
+  DecideOptions overrides;
+  overrides.site_available = available;
+  CappingOutcome outcome;
+  ASSERT_NO_THROW(
+      outcome = capper_.decide(4.8e11, 1.2e11, demand_, 1e7, overrides));
+  EXPECT_DOUBLE_EQ(outcome.served_premium, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.served_ordinary, 0.0);
+  EXPECT_NEAR(outcome.dropped_capacity, 6e11, 1.0);
+}
+
+TEST_F(BillCapperTest, BelievedDemandOverrideChangesThePlan) {
+  // A stale feed showing much higher background demand pushes the plan
+  // away from the (believed) expensive sites; the decision stays valid.
+  const std::vector<double> stale_demand = {500.0, 182.0, 172.0};
+  DecideOptions overrides;
+  overrides.believed_demand_mw = stale_demand;
+  const CappingOutcome outcome =
+      capper_.decide(4.8e11, 1.2e11, demand_, 1e7, overrides);
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_DOUBLE_EQ(outcome.served_premium, 4.8e11);
+  // Planned against the stale belief, site 0 looks nearly saturated by
+  // background draw and should carry less than in the fresh-feed plan.
+  const CappingOutcome fresh = capper_.decide(4.8e11, 1.2e11, demand_, 1e7);
+  EXPECT_LE(outcome.allocation.sites[0].lambda,
+            fresh.allocation.sites[0].lambda + 1e-3);
+}
+
+TEST_F(BillCapperTest, FailureReasonNames) {
+  EXPECT_STREQ(to_string(FailureReason::kNone), "none");
+  EXPECT_STREQ(to_string(FailureReason::kNodeLimit), "node_limit");
+  EXPECT_STREQ(to_string(FailureReason::kIterationLimit), "iteration_limit");
+  EXPECT_STREQ(to_string(FailureReason::kTimeLimit), "time_limit");
+  EXPECT_STREQ(to_string(FailureReason::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(FailureReason::kUnbounded), "unbounded");
+  EXPECT_EQ(failure_reason_from(lp::SolveStatus::kNodeLimit),
+            FailureReason::kNodeLimit);
+  EXPECT_EQ(failure_reason_from(lp::SolveStatus::kTimeLimit),
+            FailureReason::kTimeLimit);
+  EXPECT_EQ(failure_reason_from(lp::SolveStatus::kOptimal),
+            FailureReason::kNone);
 }
 
 }  // namespace

@@ -1,0 +1,117 @@
+#include "core/fallback_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cost_minimizer.hpp"
+#include "core/formulation.hpp"
+#include "datacenter/catalog.hpp"
+#include "market/pricing_policy.hpp"
+
+namespace billcap::core {
+namespace {
+
+class FallbackAllocatorTest : public ::testing::Test {
+ protected:
+  FallbackAllocatorTest() {
+    const auto sites = datacenter::paper_datacenters();
+    const auto policies = market::paper_policies(1);
+    const std::vector<double> demand = {228.0, 182.0, 172.0};
+    for (std::size_t i = 0; i < sites.size(); ++i)
+      models_.push_back(make_site_model(sites[i], policies[i], demand[i]));
+  }
+
+  std::vector<SiteModel> models_;
+};
+
+TEST_F(FallbackAllocatorTest, PlacesEverythingWithinCapacity) {
+  const double lambda = 6e11;
+  const AllocationResult r = fallback_allocate(models_, {lambda, 0.0});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.heuristic);
+  EXPECT_TRUE(r.usable());
+  EXPECT_NEAR(r.total_lambda, lambda, 1e-3);
+  EXPECT_GT(r.predicted_cost, 0.0);
+}
+
+TEST_F(FallbackAllocatorTest, RespectsPerSiteCapacityAndPowerCap) {
+  // Far beyond what the fleet can absorb: the heuristic places what fits
+  // and never violates a site's SLA capacity or power cap.
+  const AllocationResult r = fallback_allocate(models_, {5e12, 0.0});
+  EXPECT_LT(r.total_lambda, 5e12);
+  EXPECT_LE(r.total_lambda, system_capacity(models_) * (1.0 + 1e-9));
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    EXPECT_LE(r.sites[i].lambda, models_[i].lambda_max * (1.0 + 1e-9)) << i;
+    EXPECT_LE(r.sites[i].power_mw, models_[i].power_cap_mw * (1.0 + 1e-9))
+        << i;
+  }
+}
+
+TEST_F(FallbackAllocatorTest, RequiredLoadIgnoresBudget) {
+  // Premium is sacrificed only to physics, never to money: a zero budget
+  // still places the whole required load.
+  const double lambda = 4e11;
+  const AllocationResult r = fallback_allocate(models_, {lambda, 0.0, 0.0});
+  EXPECT_NEAR(r.total_lambda, lambda, 1e-3);
+}
+
+TEST_F(FallbackAllocatorTest, OptionalLoadStopsAtBudget) {
+  const double required = 3e11;
+  const double optional = 3e11;
+  const AllocationResult base = fallback_allocate(models_, {required, 0.0});
+  const AllocationResult full =
+      fallback_allocate(models_, {required, optional});
+  ASSERT_GT(full.predicted_cost, base.predicted_cost);
+  const double budget = 0.5 * (base.predicted_cost + full.predicted_cost);
+  const AllocationResult capped =
+      fallback_allocate(models_, {required, optional, budget});
+  EXPECT_LE(capped.predicted_cost, budget * (1.0 + 1e-9));
+  EXPECT_GE(capped.total_lambda, required - 1e-3);
+  EXPECT_LT(capped.total_lambda, required + optional - 1e-3);
+}
+
+TEST_F(FallbackAllocatorTest, CostNoBetterThanMilpOptimum) {
+  // The greedy answer is feasible by construction; the MILP's is optimal.
+  for (const double lambda : {2e11, 4e11, 6e11, 8e11}) {
+    const AllocationResult greedy = fallback_allocate(models_, {lambda, 0.0});
+    const AllocationResult optimal =
+        minimize_cost_over_models(models_, lambda);
+    ASSERT_TRUE(optimal.ok()) << lambda;
+    EXPECT_GE(greedy.predicted_cost, optimal.predicted_cost * (1.0 - 1e-9))
+        << lambda;
+    // It should still be in the right ballpark, not pathological.
+    EXPECT_LE(greedy.predicted_cost, optimal.predicted_cost * 1.5) << lambda;
+  }
+}
+
+TEST_F(FallbackAllocatorTest, Deterministic) {
+  const FallbackRequest request{4e11, 1e11, 5e4};
+  const AllocationResult a = fallback_allocate(models_, request);
+  const AllocationResult b = fallback_allocate(models_, request);
+  EXPECT_DOUBLE_EQ(a.total_lambda, b.total_lambda);
+  EXPECT_DOUBLE_EQ(a.predicted_cost, b.predicted_cost);
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sites[i].lambda, b.sites[i].lambda) << i;
+    EXPECT_DOUBLE_EQ(a.sites[i].cost, b.sites[i].cost) << i;
+  }
+}
+
+TEST_F(FallbackAllocatorTest, ZeroRequestZeroAllocation) {
+  const AllocationResult r = fallback_allocate(models_, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.total_lambda, 0.0);
+  EXPECT_DOUBLE_EQ(r.predicted_cost, 0.0);
+  for (const auto& site : r.sites) EXPECT_FALSE(site.active);
+}
+
+TEST_F(FallbackAllocatorTest, DownedSiteTakesNoLoad) {
+  std::vector<SiteModel> models = models_;
+  models[1].lambda_max = 0.0;
+  const AllocationResult r = fallback_allocate(models, {6e11, 0.0});
+  EXPECT_DOUBLE_EQ(r.sites[1].lambda, 0.0);
+  EXPECT_FALSE(r.sites[1].active);
+  EXPECT_GT(r.total_lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace billcap::core

@@ -2,18 +2,27 @@
 //
 //   billcap simulate   [--budget $] [--policy 0..3] [--strategy name]
 //                      [--seed N] [--no-cap] [--csv path]
+//                      [--outages s:start:dur,...] [--stale start:dur,...]
+//                      [--shocks s:start:dur:mult,...]
+//                      [--squeezes start:dur:ms,...] [--deadline-ms X]
+//                      [--fault-outage-rate p] [--fault-stale-rate p]
+//                      [--fault-shock-rate p] [--fault-squeeze-rate p]
+//                      [--min-premium r]
 //   billcap sweep      [--budgets a,b,c] [--policy 0..3] [--seed N]
 //   billcap opf        [--load MW]
 //   billcap trace      [--seed N]
 //   billcap help
 //
 // Every command prints human-readable tables; `simulate --csv` dumps the
-// hourly records for plotting.
+// hourly records for plotting. Exit codes: 0 success, 1 error, 2 usage,
+// 3 unrecoverable degradation (the premium QoS guarantee was broken).
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/simulator.hpp"
 #include "market/dcopf.hpp"
@@ -37,14 +46,70 @@ core::Strategy parse_strategy(const std::string& name) {
       "--strategy: expected costcapping | minonly-avg | minonly-low");
 }
 
+/// Splits "a:b:c,d:e:f" into rows of numeric fields; every row must have
+/// exactly `fields` entries.
+std::vector<std::vector<double>> parse_tuples(const std::string& spec,
+                                              std::size_t fields,
+                                              const std::string& flag) {
+  std::vector<std::vector<double>> rows;
+  std::stringstream list(spec);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    if (item.empty()) continue;
+    std::vector<double> row;
+    std::stringstream tuple(item);
+    std::string field;
+    while (std::getline(tuple, field, ':')) row.push_back(std::stod(field));
+    if (row.size() != fields)
+      throw std::runtime_error("--" + flag + ": expected " +
+                               std::to_string(fields) +
+                               " colon-separated fields, got '" + item + "'");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Builds the fault schedule from the CLI flags: explicit interval flags
+/// populate a FaultPlan, rate flags populate FaultRates (the simulator
+/// draws the plan from the seed).
+void parse_faults(const util::CliArgs& args, core::SimulationConfig& config) {
+  for (const auto& t :
+       parse_tuples(args.get("outages"), 3, "outages"))
+    config.fault_plan.outages.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         static_cast<std::size_t>(t[2])});
+  for (const auto& t : parse_tuples(args.get("stale"), 2, "stale"))
+    config.fault_plan.stale_intervals.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1])});
+  for (const auto& t : parse_tuples(args.get("shocks"), 4, "shocks"))
+    config.fault_plan.demand_shocks.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         static_cast<std::size_t>(t[2]), t[3]});
+  for (const auto& t : parse_tuples(args.get("squeezes"), 3, "squeezes"))
+    config.fault_plan.deadline_squeezes.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         t[2]});
+  config.fault_rates.outage_rate = args.get_double("fault-outage-rate", 0.0);
+  config.fault_rates.stale_rate = args.get_double("fault-stale-rate", 0.0);
+  config.fault_rates.shock_rate = args.get_double("fault-shock-rate", 0.0);
+  config.fault_rates.squeeze_rate =
+      args.get_double("fault-squeeze-rate", 0.0);
+  // A solver deadline for every hour of the month (0 = unlimited).
+  config.optimizer.milp.time_limit_ms = args.get_double("deadline-ms", 0.0);
+}
+
 int cmd_simulate(const util::CliArgs& args) {
   core::SimulationConfig config;
   config.monthly_budget = args.get_double("budget", 1.5e6);
   config.policy_level = static_cast<int>(args.get_long("policy", 1));
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
   config.enforce_budget = !args.get_bool("no-cap", false);
+  parse_faults(args, config);
   const core::Strategy strategy =
       parse_strategy(args.get("strategy", "costcapping"));
+  // Below this premium throughput the run counts as an unrecoverable
+  // failure: the QoS guarantee was broken (exit code 3).
+  const double min_premium = args.get_double("min-premium", 0.995);
 
   const core::Simulator sim(config);
 
@@ -55,15 +120,25 @@ int cmd_simulate(const util::CliArgs& args) {
     const auto results =
         sim.run_months(static_cast<std::size_t>(months));
     util::Table table({"month", "cost $", "cost/budget", "premium",
-                       "ordinary"});
+                       "ordinary", "degraded h"});
+    bool qos_broken = false;
     for (std::size_t m = 0; m < results.size(); ++m) {
       const auto& r = results[m];
       table.add_row({std::to_string(m), util::format_fixed(r.total_cost, 0),
                      util::format_fixed(r.budget_utilization(), 3),
                      util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) + "%",
-                     util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%"});
+                     util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%",
+                     std::to_string(r.degraded_hours)});
+      qos_broken = qos_broken || r.premium_throughput_ratio() < min_premium;
     }
     table.print(std::cout);
+    if (qos_broken) {
+      std::fprintf(stderr,
+                   "unrecoverable: premium throughput below %.3f in at "
+                   "least one month\n",
+                   min_premium);
+      return 3;
+    }
     return 0;
   }
 
@@ -83,21 +158,39 @@ int cmd_simulate(const util::CliArgs& args) {
                  util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%"});
   table.add_row({"max solve time",
                  util::format_fixed(r.max_solve_ms, 2) + " ms"});
+  if (sim.fault_injector().enabled() || r.degraded_hours > 0 ||
+      config.optimizer.milp.time_limit_ms > 0.0) {
+    table.add_row({"degraded hours", std::to_string(r.degraded_hours)});
+    table.add_row({"  via incumbent", std::to_string(r.incumbent_hours)});
+    table.add_row({"  via heuristic", std::to_string(r.heuristic_hours)});
+    table.add_row({"outage hours", std::to_string(r.outage_hours)});
+    table.add_row({"stale-feed hours", std::to_string(r.stale_hours)});
+  }
   table.print(std::cout);
 
   const std::string csv_path = args.get("csv");
   if (!csv_path.empty()) {
     util::Csv csv({"hour", "arrivals", "served_premium", "served_ordinary",
-                   "hourly_budget", "cost", "mode"});
+                   "hourly_budget", "cost", "mode", "degraded", "failure",
+                   "sites_down", "stale"});
     for (const auto& h : r.hours) {
       csv.add_row({std::to_string(h.hour), util::format_double(h.arrivals),
                    util::format_double(h.served_premium),
                    util::format_double(h.served_ordinary),
                    util::format_double(h.hourly_budget),
-                   util::format_double(h.cost), core::to_string(h.mode)});
+                   util::format_double(h.cost), core::to_string(h.mode),
+                   h.degraded ? "1" : "0", core::to_string(h.failure),
+                   std::to_string(h.sites_down), h.stale_prices ? "1" : "0"});
     }
     csv.save(csv_path);
     std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), csv.num_rows());
+  }
+  if (r.premium_throughput_ratio() < min_premium) {
+    std::fprintf(stderr,
+                 "unrecoverable: premium throughput %.4f below the %.3f "
+                 "guarantee\n",
+                 r.premium_throughput_ratio(), min_premium);
+    return 3;
   }
   return 0;
 }
@@ -190,6 +283,13 @@ int cmd_help() {
       "commands:\n"
       "  simulate  run one month (--budget --policy --strategy --seed\n"
       "            --no-cap --csv out.csv --months N)\n"
+      "            fault injection: --outages site:start:dur,...\n"
+      "              --stale start:dur,...  --shocks site:start:dur:mult,...\n"
+      "              --squeezes start:dur:ms,...  or random via\n"
+      "              --fault-outage-rate --fault-stale-rate\n"
+      "              --fault-shock-rate --fault-squeeze-rate (per hour)\n"
+      "            --deadline-ms M   hard wall-clock limit per solve\n"
+      "            --min-premium r   exit 3 if premium throughput < r\n"
       "  sweep     budget sweep (--budgets 0.5e6,1e6,... --policy --seed)\n"
       "  opf       PJM 5-bus optimal power flow (--load MW)\n"
       "  trace     synthetic workload statistics (--seed)\n"
