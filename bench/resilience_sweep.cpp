@@ -1,18 +1,34 @@
 // Resilience sweep — what does operating through injected faults cost?
 //
-// Sweeps a per-site-hour fault rate applied simultaneously to site
-// outages, stale market feeds and background-demand shocks, re-runs the
-// Cost Capping month at each rate (same seed, independent fault streams)
-// and reports cost, throughput and degradation relative to the
-// fault-free run. The point of the graceful-degradation ladder
-// (optimal -> incumbent -> greedy heuristic -> premium-only) is that the
-// month always *completes* and premium traffic stays near 100 % even as
-// the fault rate climbs; the price shows up as extra cost and shed
-// ordinary traffic, not as a crashed control loop.
+// Three experiments, all on the same seed:
+//
+//  1. Fault-rate sweep: a per-site-hour fault rate applied simultaneously
+//     to site outages, stale market feeds and background-demand shocks;
+//     re-runs the Cost Capping month at each rate and reports cost,
+//     throughput and degradation relative to the fault-free run. The
+//     point of the graceful-degradation ladder (optimal -> incumbent ->
+//     greedy heuristic -> premium-only) is that the month always
+//     *completes* and premium traffic stays near 100 % even as the fault
+//     rate climbs; the price shows up as extra cost and shed ordinary
+//     traffic, not as a crashed control loop.
+//
+//  2. Feed recovery: with the stale-feed rate pinned, sweeps the
+//     MarketFeed retry-success probability from 0 (legacy frozen feed:
+//     plan every stale hour on last-known prices) upward. Each successful
+//     backoff retry re-syncs the believed market hour mid-interval, so
+//     stale-planned hours fall strictly monotonically with retry quality.
+//
+//  3. Crash recovery: sweeps an injected controller-crash rate and runs
+//     the month through the durable checkpoint (`run_resumable`), dying
+//     and resuming in-process at every planned crash. The recovered month
+//     must cost exactly what the uninterrupted month costs — crashes are
+//     free in outcome, paid only in restart latency.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
+#include "core/checkpoint.hpp"
 #include "core/simulator.hpp"
 
 int main() {
@@ -58,5 +74,101 @@ int main() {
   }
   table.print(std::cout);
   bench::save_csv(csv, "resilience_sweep");
-  return 0;
+
+  // ---- 2. Frozen feed vs retrying feed with exponential backoff --------
+  //
+  // stale_rate is pinned high enough that the month sees several stale
+  // intervals; only the retry-success probability varies. prob = 0 is the
+  // legacy frozen feed (bit-identical to the pre-MarketFeed code path).
+  bench::heading("Feed recovery: frozen feed vs exponential backoff");
+  util::Table feed_table({"retry prob", "stale h", "vs frozen", "retries",
+                          "recovered h", "cost $", "ordinary"});
+  util::Csv feed_csv({"retry_prob", "stale_hours", "stale_vs_frozen",
+                      "feed_retry_attempts", "feed_recovered_hours",
+                      "total_cost", "ordinary_ratio"});
+  const double retry_probs[] = {0.0, 0.3, 0.7, 0.9};
+  std::size_t frozen_stale_hours = 0;
+  bool backoff_strictly_better = true;
+  for (const double prob : retry_probs) {
+    core::SimulationConfig config;
+    config.monthly_budget = 1.5e6;
+    config.fault_rates.stale_rate = 0.05;
+    config.market_feed.retry_success_prob = prob;
+    const core::MonthlyResult r =
+        core::Simulator(config).run(core::Strategy::kCostCapping);
+    if (prob == 0.0) frozen_stale_hours = r.stale_hours;
+    if (prob > 0.0 && r.stale_hours >= frozen_stale_hours)
+      backoff_strictly_better = false;
+    const double vs_frozen =
+        frozen_stale_hours > 0
+            ? static_cast<double>(r.stale_hours) /
+                  static_cast<double>(frozen_stale_hours)
+            : 1.0;
+    feed_table.add_row(
+        {util::format_fixed(prob, 1), std::to_string(r.stale_hours),
+         util::format_fixed(vs_frozen, 3),
+         std::to_string(r.feed_retry_attempts),
+         std::to_string(r.feed_recovered_hours),
+         util::format_fixed(r.total_cost, 0),
+         util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) +
+             "%"});
+    feed_csv.add_numeric_row({prob, static_cast<double>(r.stale_hours),
+                              vs_frozen,
+                              static_cast<double>(r.feed_retry_attempts),
+                              static_cast<double>(r.feed_recovered_hours),
+                              r.total_cost, r.ordinary_throughput_ratio()});
+  }
+  feed_table.print(std::cout);
+  bench::save_csv(feed_csv, "resilience_feed_recovery");
+  std::printf("[check] backoff recovery strictly reduces stale hours: %s\n",
+              backoff_strictly_better ? "yes" : "NO");
+
+  // ---- 3. Controller crashes survived via the durable checkpoint -------
+  //
+  // Every planned crash kills the control loop in-process; run_resumable
+  // restarts it from the checkpoint file until the month completes. The
+  // reference run is the same config through plain run() (which ignores
+  // crashes): identical cost proves recovery is lossless.
+  bench::heading("Crash recovery: checkpointed month vs uninterrupted");
+  util::Table crash_table({"crash rate", "crashes", "cost $", "cost delta",
+                           "premium", "ordinary"});
+  util::Csv crash_csv({"crash_rate", "crash_recoveries", "total_cost",
+                       "cost_delta_vs_uninterrupted", "premium_ratio",
+                       "ordinary_ratio"});
+  const std::string ck_path = "resilience_sweep.checkpoint";
+  for (const double crash_rate : {0.0, 0.01, 0.05, 0.1}) {
+    core::SimulationConfig config;
+    config.monthly_budget = 1.5e6;
+    config.fault_rates.stale_rate = 0.02;
+    config.fault_rates.outage_rate = 0.002;
+    config.fault_rates.crash_rate = crash_rate;
+    config.market_feed.retry_success_prob = 0.5;
+    const core::Simulator sim(config);
+    const core::MonthlyResult reference =
+        sim.run(core::Strategy::kCostCapping);
+    std::remove(ck_path.c_str());
+    core::Simulator::ResumableOutcome outcome =
+        sim.run_resumable(core::Strategy::kCostCapping, ck_path, false);
+    while (outcome.crashed)
+      outcome =
+          sim.run_resumable(core::Strategy::kCostCapping, ck_path, true);
+    std::remove(ck_path.c_str());
+    const core::MonthlyResult& r = outcome.result;
+    const double delta = r.total_cost - reference.total_cost;
+    crash_table.add_row(
+        {util::format_fixed(crash_rate, 2),
+         std::to_string(r.crash_recoveries),
+         util::format_fixed(r.total_cost, 0), util::format_fixed(delta, 6),
+         util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) + "%",
+         util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) +
+             "%"});
+    crash_csv.add_numeric_row({crash_rate,
+                               static_cast<double>(r.crash_recoveries),
+                               r.total_cost, delta,
+                               r.premium_throughput_ratio(),
+                               r.ordinary_throughput_ratio()});
+  }
+  crash_table.print(std::cout);
+  bench::save_csv(crash_csv, "resilience_crash_recovery");
+  return backoff_strictly_better ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -19,6 +20,9 @@ enum class FailureReason {
   kInfeasible,      ///< solver reported infeasible (numerical trouble)
   kUnbounded,       ///< solver reported unbounded (model corruption)
 };
+
+/// Number of FailureReason values (for per-reason tally arrays).
+inline constexpr std::size_t kFailureReasonCount = 6;
 
 const char* to_string(FailureReason reason) noexcept;
 

@@ -1,0 +1,310 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/journal.hpp"
+
+namespace billcap::core {
+
+namespace {
+
+constexpr const char* kMagic = "billcap-checkpoint";
+constexpr int kVersion = 1;
+
+// ---- digest ---------------------------------------------------------------
+
+struct Digest {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+
+  void mix_u64(std::uint64_t value) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xffu;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  void mix_size(std::size_t value) noexcept {
+    mix_u64(static_cast<std::uint64_t>(value));
+  }
+  void mix_double(double value) noexcept {
+    mix_u64(std::bit_cast<std::uint64_t>(value));
+  }
+  void mix_bool(bool value) noexcept { mix_u64(value ? 1 : 0); }
+};
+
+// ---- token stream for HourRecord ------------------------------------------
+
+void put_u(std::ostringstream& os, std::uint64_t v) { os << v << ' '; }
+void put_d(std::ostringstream& os, double v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  os << buf << ' ';
+}
+
+std::uint64_t take_u(std::istringstream& is) {
+  std::uint64_t v = 0;
+  if (!(is >> v)) throw std::runtime_error("checkpoint: truncated hour record");
+  return v;
+}
+double take_d(std::istringstream& is) {
+  std::string token;
+  if (!(is >> token) || token.size() != 16)
+    throw std::runtime_error("checkpoint: malformed hour record");
+  std::uint64_t bits = 0;
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), bits, 16);
+  if (res.ec != std::errc{} || res.ptr != token.data() + token.size())
+    throw std::runtime_error("checkpoint: malformed hour record");
+  return std::bit_cast<double>(bits);
+}
+
+std::string encode_hour(const HourRecord& rec) {
+  std::ostringstream os;
+  put_u(os, rec.hour);
+  put_u(os, static_cast<std::uint64_t>(rec.mode));
+  put_u(os, static_cast<std::uint64_t>(rec.failure));
+  put_u(os, rec.degraded ? 1 : 0);
+  put_u(os, rec.used_incumbent ? 1 : 0);
+  put_u(os, rec.used_heuristic ? 1 : 0);
+  put_u(os, rec.stale_prices ? 1 : 0);
+  put_u(os, static_cast<std::uint64_t>(rec.feed_attempts));
+  put_u(os, rec.feed_recovered ? 1 : 0);
+  put_u(os, rec.sites_down);
+  put_u(os, static_cast<std::uint64_t>(rec.nodes));
+  put_d(os, rec.arrivals);
+  put_d(os, rec.premium_arrivals);
+  put_d(os, rec.ordinary_arrivals);
+  put_d(os, rec.served_premium);
+  put_d(os, rec.served_ordinary);
+  put_d(os, rec.hourly_budget);
+  put_d(os, rec.cost);
+  put_d(os, rec.predicted_cost);
+  put_d(os, rec.solve_ms);
+  put_u(os, rec.site_lambda.size());
+  for (double v : rec.site_lambda) put_d(os, v);
+  put_u(os, rec.site_power_mw.size());
+  for (double v : rec.site_power_mw) put_d(os, v);
+  return os.str();
+}
+
+HourRecord decode_hour(const std::string& text) {
+  std::istringstream is(text);
+  HourRecord rec;
+  rec.hour = static_cast<std::size_t>(take_u(is));
+  rec.mode = static_cast<CappingOutcome::Mode>(take_u(is));
+  rec.failure = static_cast<FailureReason>(take_u(is));
+  rec.degraded = take_u(is) != 0;
+  rec.used_incumbent = take_u(is) != 0;
+  rec.used_heuristic = take_u(is) != 0;
+  rec.stale_prices = take_u(is) != 0;
+  rec.feed_attempts = static_cast<int>(take_u(is));
+  rec.feed_recovered = take_u(is) != 0;
+  rec.sites_down = static_cast<std::size_t>(take_u(is));
+  rec.nodes = static_cast<long>(take_u(is));
+  rec.arrivals = take_d(is);
+  rec.premium_arrivals = take_d(is);
+  rec.ordinary_arrivals = take_d(is);
+  rec.served_premium = take_d(is);
+  rec.served_ordinary = take_d(is);
+  rec.hourly_budget = take_d(is);
+  rec.cost = take_d(is);
+  rec.predicted_cost = take_d(is);
+  rec.solve_ms = take_d(is);
+  const std::size_t n_lambda = static_cast<std::size_t>(take_u(is));
+  rec.site_lambda.reserve(n_lambda);
+  for (std::size_t i = 0; i < n_lambda; ++i)
+    rec.site_lambda.push_back(take_d(is));
+  const std::size_t n_power = static_cast<std::size_t>(take_u(is));
+  rec.site_power_mw.reserve(n_power);
+  for (std::size_t i = 0; i < n_power; ++i)
+    rec.site_power_mw.push_back(take_d(is));
+  return rec;
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_digest(const SimulationConfig& config,
+                                Strategy strategy) {
+  Digest d;
+  d.mix_u64(static_cast<std::uint64_t>(strategy));
+  d.mix_u64(config.seed);
+  d.mix_double(config.monthly_budget);
+  d.mix_double(config.premium_share);
+  d.mix_u64(static_cast<std::uint64_t>(config.policy_level));
+  d.mix_bool(config.enforce_budget);
+  d.mix_size(config.history_weeks);
+  d.mix_u64(static_cast<std::uint64_t>(config.budget_weighting));
+  d.mix_u64(config.history_seed_offset);
+
+  d.mix_double(config.workload.mean_rate);
+  d.mix_double(config.workload.diurnal_amplitude);
+  d.mix_double(config.workload.weekend_drop);
+  d.mix_double(config.workload.noise_sigma);
+  d.mix_double(config.workload.flash_crowd_per_hour);
+  d.mix_double(config.workload.flash_crowd_magnitude);
+  d.mix_double(config.workload.flash_crowd_decay);
+
+  d.mix_bool(config.optimizer.model_cooling_network);
+  d.mix_u64(static_cast<std::uint64_t>(config.optimizer.milp.max_nodes));
+  d.mix_double(config.optimizer.milp.integrality_tol);
+  d.mix_double(config.optimizer.milp.relative_gap);
+  d.mix_double(config.optimizer.milp.absolute_gap);
+  d.mix_double(config.optimizer.milp.time_limit_ms);
+
+  const FaultPlan& plan = config.fault_plan;
+  d.mix_size(plan.outages.size());
+  for (const auto& o : plan.outages) {
+    d.mix_size(o.site);
+    d.mix_size(o.start_hour);
+    d.mix_size(o.duration_hours);
+  }
+  d.mix_size(plan.stale_intervals.size());
+  for (const auto& s : plan.stale_intervals) {
+    d.mix_size(s.start_hour);
+    d.mix_size(s.duration_hours);
+  }
+  d.mix_size(plan.demand_shocks.size());
+  for (const auto& s : plan.demand_shocks) {
+    d.mix_size(s.site);
+    d.mix_size(s.start_hour);
+    d.mix_size(s.duration_hours);
+    d.mix_double(s.multiplier);
+  }
+  d.mix_size(plan.deadline_squeezes.size());
+  for (const auto& s : plan.deadline_squeezes) {
+    d.mix_size(s.start_hour);
+    d.mix_size(s.duration_hours);
+    d.mix_double(s.time_limit_ms);
+  }
+  d.mix_size(plan.crashes.size());
+  for (const auto& c : plan.crashes) {
+    d.mix_size(c.hour);
+    d.mix_bool(c.before_checkpoint);
+  }
+
+  d.mix_double(config.fault_rates.outage_rate);
+  d.mix_size(config.fault_rates.outage_mean_hours);
+  d.mix_double(config.fault_rates.stale_rate);
+  d.mix_size(config.fault_rates.stale_mean_hours);
+  d.mix_double(config.fault_rates.shock_rate);
+  d.mix_size(config.fault_rates.shock_mean_hours);
+  d.mix_double(config.fault_rates.shock_multiplier);
+  d.mix_double(config.fault_rates.squeeze_rate);
+  d.mix_size(config.fault_rates.squeeze_mean_hours);
+  d.mix_double(config.fault_rates.squeeze_ms);
+  d.mix_double(config.fault_rates.crash_rate);
+
+  d.mix_double(config.market_feed.retry_success_prob);
+  d.mix_u64(static_cast<std::uint64_t>(config.market_feed.max_attempts_per_hour));
+  d.mix_double(config.market_feed.base_backoff_ms);
+  d.mix_double(config.market_feed.backoff_multiplier);
+  d.mix_double(config.market_feed.max_backoff_ms);
+  d.mix_double(config.market_feed.jitter_frac);
+
+  return d.hash;
+}
+
+bool checkpoint_exists(const std::string& path) noexcept {
+  const std::ifstream probe(path);
+  return probe.good();
+}
+
+void save_checkpoint(const std::string& path, const CheckpointState& state) {
+  util::Journal journal(kMagic, kVersion);
+  journal.set_u64("config_digest", state.config_digest);
+  journal.set_u64("strategy", static_cast<std::uint64_t>(state.strategy));
+  journal.set_size("next_hour", state.next_hour);
+  journal.set_double_bits("spent", state.spent);
+  journal.set_size("crashes_fired", state.crashes_fired);
+  for (std::size_t i = 0; i < state.feed.rng.size(); ++i)
+    journal.set_u64("feed_rng" + std::to_string(i), state.feed.rng[i]);
+  journal.set_size("feed_recovered_until", state.feed.recovered_until);
+
+  const MonthlyResult& r = state.partial;
+  journal.set_double_bits("monthly_budget", r.monthly_budget);
+  journal.set_double_bits("total_cost", r.total_cost);
+  journal.set_double_bits("total_premium_arrivals", r.total_premium_arrivals);
+  journal.set_double_bits("total_ordinary_arrivals",
+                          r.total_ordinary_arrivals);
+  journal.set_double_bits("total_served_premium", r.total_served_premium);
+  journal.set_double_bits("total_served_ordinary", r.total_served_ordinary);
+  journal.set_double_bits("max_solve_ms", r.max_solve_ms);
+  journal.set_size("degraded_hours", r.degraded_hours);
+  journal.set_size("incumbent_hours", r.incumbent_hours);
+  journal.set_size("heuristic_hours", r.heuristic_hours);
+  journal.set_size("outage_hours", r.outage_hours);
+  journal.set_size("stale_hours", r.stale_hours);
+  journal.set_size("feed_retry_attempts", r.feed_retry_attempts);
+  journal.set_size("feed_recovered_hours", r.feed_recovered_hours);
+  journal.set_size("crash_recoveries", r.crash_recoveries);
+  {
+    std::ostringstream tally;
+    for (std::size_t i = 0; i < r.failure_tally.size(); ++i) {
+      if (i) tally << ' ';
+      tally << r.failure_tally[i];
+    }
+    journal.set("failure_tally", tally.str());
+  }
+
+  journal.set_size("hours", r.hours.size());
+  for (std::size_t i = 0; i < r.hours.size(); ++i)
+    journal.set("h" + std::to_string(i), encode_hour(r.hours[i]));
+
+  journal.save_atomic(path);
+}
+
+CheckpointState load_checkpoint(const std::string& path) {
+  const util::Journal journal = util::Journal::load(path, kMagic, kVersion);
+
+  CheckpointState state;
+  state.config_digest = journal.get_u64("config_digest");
+  state.strategy = static_cast<Strategy>(journal.get_u64("strategy"));
+  state.next_hour = journal.get_size("next_hour");
+  state.spent = journal.get_double_bits("spent");
+  state.crashes_fired = journal.get_size("crashes_fired");
+  for (std::size_t i = 0; i < state.feed.rng.size(); ++i)
+    state.feed.rng[i] = journal.get_u64("feed_rng" + std::to_string(i));
+  state.feed.recovered_until = journal.get_size("feed_recovered_until");
+
+  MonthlyResult& r = state.partial;
+  r.strategy = state.strategy;
+  r.monthly_budget = journal.get_double_bits("monthly_budget");
+  r.total_cost = journal.get_double_bits("total_cost");
+  r.total_premium_arrivals = journal.get_double_bits("total_premium_arrivals");
+  r.total_ordinary_arrivals =
+      journal.get_double_bits("total_ordinary_arrivals");
+  r.total_served_premium = journal.get_double_bits("total_served_premium");
+  r.total_served_ordinary = journal.get_double_bits("total_served_ordinary");
+  r.max_solve_ms = journal.get_double_bits("max_solve_ms");
+  r.degraded_hours = journal.get_size("degraded_hours");
+  r.incumbent_hours = journal.get_size("incumbent_hours");
+  r.heuristic_hours = journal.get_size("heuristic_hours");
+  r.outage_hours = journal.get_size("outage_hours");
+  r.stale_hours = journal.get_size("stale_hours");
+  r.feed_retry_attempts = journal.get_size("feed_retry_attempts");
+  r.feed_recovered_hours = journal.get_size("feed_recovered_hours");
+  r.crash_recoveries = journal.get_size("crash_recoveries");
+  {
+    std::istringstream tally(journal.get("failure_tally"));
+    for (std::size_t i = 0; i < r.failure_tally.size(); ++i)
+      if (!(tally >> r.failure_tally[i]))
+        throw std::runtime_error("checkpoint: malformed failure_tally");
+  }
+
+  const std::size_t hours = journal.get_size("hours");
+  if (hours != state.next_hour)
+    throw std::runtime_error(
+        "checkpoint: hour count does not match next_hour (inconsistent "
+        "file)");
+  r.hours.reserve(hours);
+  for (std::size_t i = 0; i < hours; ++i)
+    r.hours.push_back(decode_hour(journal.get("h" + std::to_string(i))));
+  return state;
+}
+
+}  // namespace billcap::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/market_feed.hpp"
+#include "core/simulator.hpp"
+
+namespace billcap::core {
+
+/// Everything the hourly control loop needs to continue a month after the
+/// controller process dies: how far it got, the budget ledger's spent
+/// total, the partial MonthlyResult (aggregates, FailureReason tallies and
+/// every committed HourRecord), the market-feed client's stream state, and
+/// the crash-plan cursor. Doubles are persisted bitwise, so a resumed
+/// month finishes with a result bit-identical to the uninterrupted run.
+struct CheckpointState {
+  /// Digest of the (config, strategy) pair that wrote the checkpoint;
+  /// loading under a different configuration is refused rather than
+  /// silently mixing two months.
+  std::uint64_t config_digest = 0;
+  Strategy strategy = Strategy::kCostCapping;
+  std::size_t next_hour = 0;      ///< first hour not yet committed
+  double spent = 0.0;             ///< budget ledger: $ billed so far
+  std::size_t crashes_fired = 0;  ///< FaultPlan::ControllerCrash cursor
+  MarketFeed::State feed;         ///< retrying feed client's RNG + cursor
+  MonthlyResult partial;          ///< committed hours + aggregates
+};
+
+/// Digest of the simulation configuration fields that determine a month's
+/// trajectory (seed, budget, workload shape, fault schedule, feed policy,
+/// strategy...). Two configs with equal digests produce the same month.
+std::uint64_t checkpoint_digest(const SimulationConfig& config,
+                                Strategy strategy);
+
+/// True if a checkpoint file exists at `path` (it may still fail to load).
+bool checkpoint_exists(const std::string& path) noexcept;
+
+/// Atomically persists `state` (write-temp-then-rename): a kill at any
+/// instant leaves either the previous checkpoint or this one, never a torn
+/// file. Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, const CheckpointState& state);
+
+/// Loads and verifies a checkpoint. Throws std::runtime_error when the
+/// file is missing, truncated, corrupted (checksum mismatch), from an
+/// unsupported format version, or structurally inconsistent.
+CheckpointState load_checkpoint(const std::string& path);
+
+}  // namespace billcap::core

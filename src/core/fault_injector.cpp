@@ -26,6 +26,7 @@ FaultPlan generate_fault_plan(const FaultRates& rates,
   util::Rng stale_rng(seed ^ 0x7374616c65ULL);
   util::Rng shock_rng(seed ^ 0x73686f636bULL);
   util::Rng squeeze_rng(seed ^ 0x73717565657aULL);
+  util::Rng crash_rng(seed ^ 0x6372617368ULL);
 
   for (std::size_t h = 0; h < horizon_hours; ++h) {
     for (std::size_t s = 0; s < num_sites; ++s) {
@@ -44,6 +45,11 @@ FaultPlan generate_fault_plan(const FaultRates& rates,
       plan.deadline_squeezes.push_back(
           {h, draw_duration(squeeze_rng, rates.squeeze_mean_hours),
            rates.squeeze_ms});
+    // Half the crashes strike before the hour's checkpoint commits (the
+    // resume recomputes the hour), half after — exercising both recovery
+    // paths in rate-driven sweeps.
+    if (rates.crash_rate > 0.0 && crash_rng.bernoulli(rates.crash_rate))
+      plan.crashes.push_back({h, crash_rng.bernoulli(0.5)});
   }
   return plan;
 }

@@ -43,14 +43,29 @@ struct FaultPlan {
     double time_limit_ms = 0.0;
   };
 
+  /// The controller process dies. Consumed by Simulator::run_resumable,
+  /// not by the per-hour injector: the run aborts at `hour` and must be
+  /// resumed from its durable checkpoint. `before_checkpoint` chooses the
+  /// kill instant — false models dying right after hour `hour`'s
+  /// checkpoint committed (the hour survives), true models dying after the
+  /// hour was computed but *before* its checkpoint was written (the resume
+  /// must recompute it). Each entry fires once; the checkpoint records how
+  /// many have fired so a resumed run does not re-crash on the same entry.
+  struct ControllerCrash {
+    std::size_t hour = 0;
+    bool before_checkpoint = false;
+  };
+
   std::vector<SiteOutage> outages;
   std::vector<StaleInterval> stale_intervals;
   std::vector<DemandShock> demand_shocks;
   std::vector<DeadlineSqueeze> deadline_squeezes;
+  std::vector<ControllerCrash> crashes;
 
   bool empty() const noexcept {
     return outages.empty() && stale_intervals.empty() &&
-           demand_shocks.empty() && deadline_squeezes.empty();
+           demand_shocks.empty() && deadline_squeezes.empty() &&
+           crashes.empty();
   }
 };
 
@@ -68,10 +83,11 @@ struct FaultRates {
   double squeeze_rate = 0.0;       ///< per hour
   std::size_t squeeze_mean_hours = 2;
   double squeeze_ms = 5.0;
+  double crash_rate = 0.0;         ///< controller death per hour
 
   bool any() const noexcept {
     return outage_rate > 0.0 || stale_rate > 0.0 || shock_rate > 0.0 ||
-           squeeze_rate > 0.0;
+           squeeze_rate > 0.0 || crash_rate > 0.0;
   }
 };
 

@@ -1,0 +1,83 @@
+#include "core/market_feed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace billcap::core {
+
+MarketFeed::MarketFeed(const FaultInjector* injector,
+                       const MarketFeedOptions& options, std::uint64_t seed)
+    : injector_(injector), options_(options), rng_(seed ^ 0x6665656479ULL) {
+  if (options_.retry_success_prob < 0.0 || options_.retry_success_prob > 1.0)
+    throw std::invalid_argument(
+        "MarketFeed: retry_success_prob in [0, 1] required");
+  if (options_.enabled()) {
+    if (options_.max_attempts_per_hour < 1)
+      throw std::invalid_argument("MarketFeed: max_attempts_per_hour >= 1");
+    if (options_.base_backoff_ms <= 0.0 || options_.backoff_multiplier < 1.0 ||
+        options_.max_backoff_ms < options_.base_backoff_ms)
+      throw std::invalid_argument("MarketFeed: bad backoff policy");
+    if (options_.jitter_frac < 0.0 || options_.jitter_frac > 1.0)
+      throw std::invalid_argument("MarketFeed: jitter_frac in [0, 1]");
+  }
+}
+
+FeedObservation MarketFeed::poll(std::size_t hour) {
+  FeedObservation obs;
+  obs.observed_hour =
+      injector_ ? injector_->observed_market_hour(hour) : hour;
+  if (obs.observed_hour == hour) return obs;  // raw feed is fresh
+
+  // An earlier retry already re-established the connection for this
+  // interval: the data is fresh even though the injector says frozen.
+  if (hour < recovered_until_) {
+    obs.observed_hour = hour;
+    return obs;
+  }
+
+  if (!options_.enabled()) {
+    obs.stale = true;  // legacy frozen feed: stale for the whole interval
+    return obs;
+  }
+
+  // Re-poll with exponential backoff. Each attempt consumes exactly two
+  // draws (jitter, then success), so the stream position after the hour
+  // depends only on how many attempts ran — deterministic given the plan.
+  double wait = options_.base_backoff_ms;
+  for (int attempt = 0; attempt < options_.max_attempts_per_hour; ++attempt) {
+    ++obs.attempts;
+    const double jitter =
+        1.0 + options_.jitter_frac * (2.0 * rng_.uniform() - 1.0);
+    obs.backoff_ms += std::min(wait, options_.max_backoff_ms) * jitter;
+    wait *= options_.backoff_multiplier;
+    if (rng_.bernoulli(options_.retry_success_prob)) {
+      obs.recovered = true;
+      break;
+    }
+  }
+
+  if (!obs.recovered) {
+    obs.stale = true;
+    return obs;
+  }
+
+  // The reconnect landed: this hour plans on fresh data, and so does the
+  // rest of the injected interval (the new connection persists until the
+  // next distinct fault).
+  obs.observed_hour = hour;
+  std::size_t end = hour + 1;
+  while (injector_ && injector_->prices_stale(end)) ++end;
+  recovered_until_ = end;
+  return obs;
+}
+
+MarketFeed::State MarketFeed::state() const noexcept {
+  return {rng_.state(), recovered_until_};
+}
+
+void MarketFeed::restore(const State& state) noexcept {
+  rng_.set_state(state.rng);
+  recovered_until_ = state.recovered_until;
+}
+
+}  // namespace billcap::core

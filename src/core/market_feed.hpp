@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/fault_injector.hpp"
+#include "util/rng.hpp"
+
+namespace billcap::core {
+
+/// Retry policy of the market-data client. The legacy behaviour (PR 1's
+/// frozen feed: stale for the whole injected interval) is the default —
+/// `retry_success_prob == 0` disables retrying entirely and consumes no
+/// randomness, keeping fault-free and frozen-feed runs bit-identical to
+/// the pre-feed-client code.
+struct MarketFeedOptions {
+  /// Probability that one re-poll of the broken feed succeeds. Applied per
+  /// attempt, so the per-hour recovery probability is
+  /// 1 - (1 - p)^max_attempts_per_hour.
+  double retry_success_prob = 0.0;
+  int max_attempts_per_hour = 5;
+  /// Exponential backoff between attempts: attempt k waits
+  /// min(base * multiplier^(k-1), max) ms, +/- deterministic jitter drawn
+  /// from the feed's own RNG stream (decorrelates reconnect storms).
+  double base_backoff_ms = 100.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  double jitter_frac = 0.1;
+
+  bool enabled() const noexcept { return retry_success_prob > 0.0; }
+};
+
+/// What one hour's poll of the market feed produced.
+struct FeedObservation {
+  std::size_t observed_hour = 0;  ///< whose data the optimizer plans on
+  bool stale = false;             ///< planning data is from an earlier hour
+  int attempts = 0;               ///< re-polls issued this hour
+  bool recovered = false;         ///< a retry landed: fresh data mid-interval
+  double backoff_ms = 0.0;        ///< simulated wait spent backing off
+};
+
+/// The market-data client between the fault injector's raw feed and the
+/// optimizer. A fresh feed passes straight through. When the injector says
+/// the feed froze (StaleInterval), the client re-polls with exponential
+/// backoff + jitter; a successful retry advances `observed_hour` to the
+/// current hour, so the optimizer re-plans on fresh data instead of
+/// staying frozen for the whole interval, and the feed stays healthy for
+/// the remainder of that interval (the reconnect persists). Deterministic
+/// in (seed, sequence of polled hours): randomness is consumed only on
+/// hours whose raw feed is stale.
+///
+/// The client is the one stateful component of the hourly loop, so it
+/// exposes its state (RNG lanes + recovery cursor) for durable
+/// checkpointing; restoring the state resumes the stream mid-month
+/// bit-exactly.
+class MarketFeed {
+ public:
+  /// `injector` may be null (no faults — every poll is fresh); it must
+  /// outlive the feed.
+  MarketFeed(const FaultInjector* injector, const MarketFeedOptions& options,
+             std::uint64_t seed);
+
+  const MarketFeedOptions& options() const noexcept { return options_; }
+
+  /// Polls the feed for `hour` (month-local). Hours must be polled in
+  /// nondecreasing order for the recovery cursor to make sense.
+  FeedObservation poll(std::size_t hour);
+
+  /// Durable-checkpoint support.
+  struct State {
+    std::array<std::uint64_t, 4> rng{};
+    std::size_t recovered_until = 0;  ///< feed healthy for hours < this
+  };
+  State state() const noexcept;
+  void restore(const State& state) noexcept;
+
+ private:
+  const FaultInjector* injector_;
+  MarketFeedOptions options_;
+  util::Rng rng_;
+  std::size_t recovered_until_ = 0;
+};
+
+}  // namespace billcap::core

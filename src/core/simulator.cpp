@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/baselines.hpp"
+#include "core/checkpoint.hpp"
 #include "core/fallback_allocator.hpp"
 #include "datacenter/catalog.hpp"
 #include "market/background_demand.hpp"
@@ -33,6 +34,10 @@ void accumulate(MonthlyResult& result, HourRecord&& rec) {
   result.heuristic_hours += rec.used_heuristic ? 1 : 0;
   result.outage_hours += rec.sites_down > 0 ? 1 : 0;
   result.stale_hours += rec.stale_prices ? 1 : 0;
+  if (rec.degraded)
+    ++result.failure_tally[static_cast<std::size_t>(rec.failure)];
+  result.feed_retry_attempts += static_cast<std::size_t>(rec.feed_attempts);
+  result.feed_recovered_hours += rec.feed_recovered ? 1 : 0;
   result.hours.push_back(std::move(rec));
 }
 
@@ -136,18 +141,30 @@ Simulator::Simulator(SimulationConfig config)
                        evaluation_.hours(),
                        util::hour_of_week(history_.hours()));
 
-  // Fault schedule for the evaluation month: an explicit plan wins over
-  // rate-driven generation; both derive only from the config, so a run is
-  // deterministic in (seed, plan/rates).
-  if (!config_.fault_plan.empty()) {
-    injector_ =
-        FaultInjector(config_.fault_plan, sites_.size(), evaluation_.hours());
-  } else if (config_.fault_rates.any()) {
-    injector_ = FaultInjector(
-        generate_fault_plan(config_.fault_rates, evaluation_.hours(),
-                            sites_.size(), config_.seed ^ 0xfa0171737c0deULL),
-        sites_.size(), evaluation_.hours());
-  }
+  // Fault schedule for the evaluation month: per fault kind, explicit plan
+  // entries win over rate-driven generation (so `--crash-at` composes with
+  // `--fault-stale-rate` instead of silencing it); both derive only from
+  // the config, so a run is deterministic in (seed, plan/rates).
+  if (config_.fault_rates.any())
+    plan_ = generate_fault_plan(config_.fault_rates, evaluation_.hours(),
+                                sites_.size(),
+                                config_.seed ^ 0xfa0171737c0deULL);
+  const FaultPlan& explicit_plan = config_.fault_plan;
+  if (!explicit_plan.outages.empty()) plan_.outages = explicit_plan.outages;
+  if (!explicit_plan.stale_intervals.empty())
+    plan_.stale_intervals = explicit_plan.stale_intervals;
+  if (!explicit_plan.demand_shocks.empty())
+    plan_.demand_shocks = explicit_plan.demand_shocks;
+  if (!explicit_plan.deadline_squeezes.empty())
+    plan_.deadline_squeezes = explicit_plan.deadline_squeezes;
+  if (!explicit_plan.crashes.empty()) plan_.crashes = explicit_plan.crashes;
+  if (!plan_.empty())
+    injector_ = FaultInjector(plan_, sites_.size(), evaluation_.hours());
+}
+
+MarketFeed Simulator::make_feed() const {
+  return MarketFeed(&injector_, config_.market_feed,
+                    config_.seed ^ 0x6d6172666565ULL);
 }
 
 std::vector<double> Simulator::demand_at(std::size_t hour) const {
@@ -158,19 +175,19 @@ std::vector<double> Simulator::demand_at(std::size_t hour) const {
 }
 
 HourRecord Simulator::run_hour_cost_capping(const BillCapper& capper,
-                                            std::size_t hour,
+                                            MarketFeed& feed, std::size_t hour,
                                             double spent_so_far) const {
   // Without budget enforcement the capper still runs, but against an
   // unlimited budget: exactly step 1 (used for Figures 3 and 4).
   const double budget = config_.enforce_budget
                             ? budgeter_.hourly_budget(hour, spent_so_far)
                             : 1e18;
-  return run_capping_hour(capper, hour, hour, evaluation_.at(hour),
+  return run_capping_hour(capper, feed, hour, hour, evaluation_.at(hour),
                           demand_at(hour), budget);
 }
 
 HourRecord Simulator::run_capping_hour(const BillCapper& capper,
-                                       std::size_t hour,
+                                       MarketFeed& feed, std::size_t hour,
                                        std::size_t fault_hour,
                                        double arrivals,
                                        std::vector<double> raw_demand,
@@ -190,7 +207,8 @@ HourRecord Simulator::run_capping_hour(const BillCapper& capper,
   std::vector<std::uint8_t> available;
   std::vector<double> believed;
   std::size_t sites_down = 0;
-  bool stale = false;
+  FeedObservation feed_obs;
+  feed_obs.observed_hour = fault_hour;
   if (injector_.enabled()) {
     available.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -199,11 +217,12 @@ HourRecord Simulator::run_capping_hour(const BillCapper& capper,
     }
     overrides.site_available = available;
 
-    const std::size_t observed = injector_.observed_market_hour(fault_hour);
-    stale = observed != fault_hour;
-    if (stale) {
-      // The feed froze at `observed`: the optimizer plans against that
-      // hour's demand (including its shocks) while billing uses today's.
+    // The market-data client: passes a fresh feed through, re-polls a
+    // frozen one with backoff. Only when it stays stale does the optimizer
+    // plan against the frozen hour's demand while billing uses today's.
+    feed_obs = feed.poll(fault_hour);
+    if (feed_obs.stale) {
+      const std::size_t observed = feed_obs.observed_hour;
       believed = demand_at(std::min(observed, evaluation_.hours() - 1));
       for (std::size_t i = 0; i < n; ++i)
         believed[i] *= injector_.demand_multiplier(i, observed);
@@ -244,7 +263,9 @@ HourRecord Simulator::run_capping_hour(const BillCapper& capper,
   rec.used_incumbent = outcome.used_incumbent;
   rec.used_heuristic = outcome.used_heuristic;
   rec.sites_down = sites_down;
-  rec.stale_prices = stale;
+  rec.stale_prices = feed_obs.stale;
+  rec.feed_attempts = feed_obs.attempts;
+  rec.feed_recovered = feed_obs.recovered;
   return rec;
 }
 
@@ -347,6 +368,7 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
   const auto full_demand =
       market::paper_background_demand(total, config_.seed ^ 0x9e3779b9);
   const BillCapper capper(sites_, policies_, config_.optimizer);
+  MarketFeed feed = make_feed();
 
   std::vector<MonthlyResult> results;
   results.reserve(months);
@@ -374,7 +396,7 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
 
       // Fault hours continue across months; the month-scoped plan only
       // covers month 0, later hours report fault-free.
-      HourRecord rec = run_capping_hour(capper, h, m * kMonthHours + h,
+      HourRecord rec = run_capping_hour(capper, feed, h, m * kMonthHours + h,
                                         full.at(g), std::move(d), budget);
       spent += rec.cost;
       accumulate(result, std::move(rec));
@@ -384,6 +406,20 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
   return results;
 }
 
+HourRecord Simulator::run_one_hour(Strategy strategy, const BillCapper& capper,
+                                   MarketFeed& feed, std::size_t hour,
+                                   double spent_so_far) const {
+  switch (strategy) {
+    case Strategy::kCostCapping:
+      return run_hour_cost_capping(capper, feed, hour, spent_so_far);
+    case Strategy::kMinOnlyAvg:
+      return run_hour_min_only(hour, MinOnlyPriceModel::kAverage);
+    case Strategy::kMinOnlyLow:
+      return run_hour_min_only(hour, MinOnlyPriceModel::kLow);
+  }
+  throw std::logic_error("run_one_hour: unknown strategy");
+}
+
 MonthlyResult Simulator::run(Strategy strategy) const {
   MonthlyResult result;
   result.strategy = strategy;
@@ -391,24 +427,102 @@ MonthlyResult Simulator::run(Strategy strategy) const {
   result.hours.reserve(evaluation_.hours());
 
   const BillCapper capper(sites_, policies_, config_.optimizer);
+  MarketFeed feed = make_feed();
   double spent = 0.0;
   for (std::size_t hour = 0; hour < evaluation_.hours(); ++hour) {
-    HourRecord rec;
-    switch (strategy) {
-      case Strategy::kCostCapping:
-        rec = run_hour_cost_capping(capper, hour, spent);
-        break;
-      case Strategy::kMinOnlyAvg:
-        rec = run_hour_min_only(hour, MinOnlyPriceModel::kAverage);
-        break;
-      case Strategy::kMinOnlyLow:
-        rec = run_hour_min_only(hour, MinOnlyPriceModel::kLow);
-        break;
-    }
+    HourRecord rec = run_one_hour(strategy, capper, feed, hour, spent);
     spent += rec.cost;
     accumulate(result, std::move(rec));
   }
   return result;
+}
+
+Simulator::ResumableOutcome Simulator::run_resumable(
+    Strategy strategy, const std::string& checkpoint_path, bool resume,
+    const std::function<void(const HourRecord&)>& on_hour) const {
+  if (checkpoint_path.empty())
+    throw std::invalid_argument("run_resumable: checkpoint path required");
+
+  const std::uint64_t digest = checkpoint_digest(config_, strategy);
+  CheckpointState st;
+  bool loaded = false;
+  if (resume && checkpoint_exists(checkpoint_path)) {
+    st = load_checkpoint(checkpoint_path);
+    if (st.config_digest != digest)
+      throw std::runtime_error(
+          "run_resumable: checkpoint belongs to a different configuration "
+          "or strategy");
+    loaded = true;
+  } else {
+    st.config_digest = digest;
+    st.strategy = strategy;
+    st.partial.strategy = strategy;
+    st.partial.monthly_budget = config_.monthly_budget;
+  }
+
+  const BillCapper capper(sites_, policies_, config_.optimizer);
+  MarketFeed feed = make_feed();
+  if (loaded)
+    feed.restore(st.feed);
+  else
+    st.feed = feed.state();  // so a crash before the first commit persists
+                             // the seeded stream, not a default-zero one
+
+  // Crash schedule, sorted by hour; `st.crashes_fired` is the cursor into
+  // it (entries already consumed by earlier attempts never re-fire).
+  std::vector<FaultPlan::ControllerCrash> crashes = plan_.crashes;
+  std::sort(crashes.begin(), crashes.end(),
+            [](const auto& a, const auto& b) { return a.hour < b.hour; });
+
+  ResumableOutcome out;
+  out.resumed_from = st.next_hour;
+  out.recoveries = st.crashes_fired;
+
+  st.partial.hours.reserve(evaluation_.hours());
+  for (std::size_t hour = st.next_hour; hour < evaluation_.hours(); ++hour) {
+    const bool crash_now = st.crashes_fired < crashes.size() &&
+                           crashes[st.crashes_fired].hour == hour;
+    const bool crash_before_checkpoint =
+        crash_now && crashes[st.crashes_fired].before_checkpoint;
+
+    HourRecord rec = run_one_hour(strategy, capper, feed, hour, st.spent);
+
+    if (crash_before_checkpoint) {
+      // The process dies after computing the hour but before the hour's
+      // checkpoint commits: the work is lost (the resume recomputes it).
+      // Only the crash cursor is advanced — re-persisted on top of the
+      // previous consistent state so the same entry cannot fire again.
+      ++st.crashes_fired;
+      CheckpointState as_of_last_commit = st;
+      save_checkpoint(checkpoint_path, as_of_last_commit);
+      out.crashed = true;
+      out.crash_hour = hour;
+      out.result = std::move(st.partial);
+      return out;
+    }
+
+    st.spent += rec.cost;
+    st.next_hour = hour + 1;
+    st.feed = feed.state();
+    if (crash_now) ++st.crashes_fired;
+    accumulate(st.partial, std::move(rec));
+    save_checkpoint(checkpoint_path, st);
+    if (on_hour) on_hour(st.partial.hours.back());
+
+    if (crash_now) {
+      // Dies right after the commit: the hour survives, the resume picks
+      // up at the next one.
+      out.crashed = true;
+      out.crash_hour = hour;
+      out.result = std::move(st.partial);
+      return out;
+    }
+  }
+
+  st.partial.crash_recoveries = st.crashes_fired;
+  out.recoveries = st.crashes_fired;
+  out.result = std::move(st.partial);
+  return out;
 }
 
 }  // namespace billcap::core

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "core/budgeter.hpp"
 #include "core/cost_model.hpp"
 #include "core/fault_injector.hpp"
+#include "core/market_feed.hpp"
 #include "datacenter/datacenter.hpp"
 #include "market/pricing_policy.hpp"
 #include "workload/trace.hpp"
@@ -51,6 +54,11 @@ struct SimulationConfig {
   /// bit-identical to the pre-fault-framework behaviour.
   FaultPlan fault_plan;
   FaultRates fault_rates;
+
+  /// Retry policy of the market-data client: with a nonzero
+  /// retry_success_prob a stale feed is re-polled with exponential backoff
+  /// each hour and can recover mid-interval. Default = frozen feed.
+  MarketFeedOptions market_feed;
 };
 
 /// The strategies compared in the evaluation.
@@ -86,6 +94,11 @@ struct HourRecord {
   bool used_heuristic = false;
   std::size_t sites_down = 0;   ///< injected outages active this hour
   bool stale_prices = false;    ///< optimizer planned on a stale feed
+
+  /// Market-feed client bookkeeping: re-polls issued this hour and whether
+  /// one of them landed (fresh data recovered mid-interval).
+  int feed_attempts = 0;
+  bool feed_recovered = false;
 };
 
 /// A full month of records plus the aggregates the figures report.
@@ -107,6 +120,17 @@ struct MonthlyResult {
   std::size_t heuristic_hours = 0;  ///< hours from greedy water-filling
   std::size_t outage_hours = 0;     ///< hours with >= 1 injected site down
   std::size_t stale_hours = 0;      ///< hours planned on a stale feed
+
+  /// Root-cause tally of degraded hours, indexed by FailureReason.
+  std::array<std::size_t, kFailureReasonCount> failure_tally{};
+
+  /// Market-feed client counters: total re-polls issued and hours where a
+  /// retry landed mid-interval (fresh data instead of a frozen feed).
+  std::size_t feed_retry_attempts = 0;
+  std::size_t feed_recovered_hours = 0;
+
+  /// Controller crashes survived via checkpoint/resume (run_resumable).
+  std::size_t crash_recoveries = 0;
 
   /// Served premium / arriving premium (1.0 = full QoS coverage).
   double premium_throughput_ratio() const noexcept;
@@ -142,9 +166,34 @@ class Simulator {
   }
   const Budgeter& budgeter() const noexcept { return budgeter_; }
   const FaultInjector& fault_injector() const noexcept { return injector_; }
+  /// The effective fault schedule: the explicit plan, or the plan drawn
+  /// from `fault_rates` (controller crashes live here too).
+  const FaultPlan& fault_plan() const noexcept { return plan_; }
 
   /// Runs the whole month under one strategy.
   MonthlyResult run(Strategy strategy) const;
+
+  /// One attempt at a crash-tolerant month. The state needed to continue
+  /// mid-month (budget ledger, aggregates, per-hour records, the market
+  /// feed's RNG stream, the crash cursor) is persisted to `checkpoint_path`
+  /// after every simulated hour via an atomic write-temp-then-rename, so a
+  /// kill at any instant leaves a consistent checkpoint. With `resume`
+  /// true an existing checkpoint is loaded (it must match this config and
+  /// strategy — a digest guards against resuming someone else's month) and
+  /// the month continues from its next hour; a missing file starts fresh.
+  struct ResumableOutcome {
+    MonthlyResult result;           ///< partial when crashed, else complete
+    bool crashed = false;           ///< a FaultPlan::ControllerCrash fired
+    std::size_t crash_hour = 0;     ///< the hour the crash struck
+    std::size_t resumed_from = 0;   ///< first hour computed this attempt
+    std::size_t recoveries = 0;     ///< crash entries survived so far
+  };
+  /// `on_hour` (optional) fires after each hour's checkpoint commits —
+  /// the hook for streaming per-hour CSV output that stays hour-aligned
+  /// with the checkpoint.
+  ResumableOutcome run_resumable(
+      Strategy strategy, const std::string& checkpoint_path, bool resume,
+      const std::function<void(const HourRecord&)>& on_hour = {}) const;
 
   /// Runs `months` consecutive budgeting periods (Section IX's "ongoing
   /// operation" view): every month receives a fresh monthly budget, and
@@ -155,18 +204,23 @@ class Simulator {
   std::vector<MonthlyResult> run_months(std::size_t months) const;
 
  private:
-  HourRecord run_hour_cost_capping(const BillCapper& capper, std::size_t hour,
+  HourRecord run_hour_cost_capping(const BillCapper& capper, MarketFeed& feed,
+                                   std::size_t hour,
                                    double spent_so_far) const;
   /// Shared core of run()'s and run_months()'s cost-capping hour:
   /// `fault_hour` indexes the fault injector (month-scoped plans do not
   /// repeat in later months), `raw_demand` is the unshocked background
   /// demand for the hour.
-  HourRecord run_capping_hour(const BillCapper& capper, std::size_t hour,
-                              std::size_t fault_hour, double arrivals,
-                              std::vector<double> raw_demand,
+  HourRecord run_capping_hour(const BillCapper& capper, MarketFeed& feed,
+                              std::size_t hour, std::size_t fault_hour,
+                              double arrivals, std::vector<double> raw_demand,
                               double budget) const;
   HourRecord run_hour_min_only(std::size_t hour,
                                MinOnlyPriceModel price_model) const;
+  HourRecord run_one_hour(Strategy strategy, const BillCapper& capper,
+                          MarketFeed& feed, std::size_t hour,
+                          double spent_so_far) const;
+  MarketFeed make_feed() const;
   std::vector<double> demand_at(std::size_t hour) const;
 
   SimulationConfig config_;
@@ -176,6 +230,7 @@ class Simulator {
   workload::Trace evaluation_;
   std::vector<std::vector<double>> demand_;  // [site][hour of eval month]
   Budgeter budgeter_;
+  FaultPlan plan_;  ///< effective schedule (explicit or rate-drawn)
   FaultInjector injector_;
 };
 

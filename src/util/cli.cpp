@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -102,6 +103,46 @@ std::vector<double> CliArgs::get_double_list(
   if (out.empty())
     throw std::runtime_error("--" + name + ": empty list");
   return out;
+}
+
+double CliArgs::get_prob(const std::string& name, double fallback) const {
+  double value = fallback;
+  try {
+    value = get_double(name, fallback);
+  } catch (const std::runtime_error& e) {
+    throw UsageError(e.what());
+  }
+  if (std::isnan(value) || value < 0.0 || value > 1.0)
+    throw UsageError("--" + name + ": expected a probability in [0, 1], got " +
+                     get(name));
+  return value;
+}
+
+double CliArgs::get_positive_double(const std::string& name,
+                                    double fallback) const {
+  double value = fallback;
+  try {
+    value = get_double(name, fallback);
+  } catch (const std::runtime_error& e) {
+    throw UsageError(e.what());
+  }
+  if (!std::isfinite(value) || value <= 0.0)
+    throw UsageError("--" + name + ": expected a finite value > 0, got " +
+                     get(name));
+  return value;
+}
+
+long CliArgs::get_positive_long(const std::string& name, long fallback) const {
+  long value = fallback;
+  try {
+    value = get_long(name, fallback);
+  } catch (const std::runtime_error& e) {
+    throw UsageError(e.what());
+  }
+  if (value < 1)
+    throw UsageError("--" + name + ": expected an integer >= 1, got " +
+                     get(name));
+  return value;
 }
 
 }  // namespace billcap::util

@@ -1,10 +1,19 @@
 #pragma once
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace billcap::util {
+
+/// A bad command line (unparseable value, out-of-range flag, contradictory
+/// flags). Tools catch this separately from std::runtime_error and exit
+/// with the usage code (2) instead of the generic error code (1).
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Minimal command-line parser for the repository's tools:
 ///   prog <command> [--flag value] [--flag=value] [--switch] [positional...]
@@ -35,6 +44,17 @@ class CliArgs {
   /// Comma-separated list of doubles ("0.5e6,1e6,2e6").
   std::vector<double> get_double_list(const std::string& name,
                                       std::vector<double> fallback) const;
+
+  /// Range-validated access: these reject NaN/out-of-range values with a
+  /// UsageError naming the flag, so degenerate configurations (negative
+  /// fault rates, zero mean durations, non-positive deadlines) fail fast
+  /// with exit code 2 instead of silently producing a broken run.
+  /// A probability in [0, 1].
+  double get_prob(const std::string& name, double fallback) const;
+  /// A finite double > 0.
+  double get_positive_double(const std::string& name, double fallback) const;
+  /// An integer >= 1.
+  long get_positive_long(const std::string& name, long fallback) const;
 
  private:
   std::string command_;

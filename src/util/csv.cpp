@@ -1,6 +1,8 @@
 #include "util/csv.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -23,6 +25,16 @@ std::string quote(std::string_view cell) {
   }
   out.push_back('"');
   return out;
+}
+
+std::string serialize_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line.push_back(',');
+    line += needs_quoting(cells[i]) ? quote(cells[i]) : cells[i];
+  }
+  line.push_back('\n');
+  return line;
 }
 
 }  // namespace
@@ -166,6 +178,59 @@ Csv Csv::load(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse(buffer.str());
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), header_(std::move(header)) {
+  open_fresh();
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header,
+                     std::size_t keep_rows)
+    : path_(path), header_(std::move(header)) {
+  std::ifstream probe(path_);
+  if (!probe) {
+    open_fresh();
+    return;
+  }
+  probe.close();
+
+  const Csv existing = Csv::load(path_);
+  if (existing.header() != header_)
+    throw std::runtime_error("CsvWriter: header of " + path_ +
+                             " does not match (stale file from a different "
+                             "run?)");
+  // Rewrite with only the rows the caller vouches for, then append. The
+  // rewrite goes through a temp file + rename so a kill here cannot lose
+  // the committed prefix.
+  Csv kept(header_);
+  const std::size_t rows = std::min(keep_rows, existing.num_rows());
+  for (std::size_t r = 0; r < rows; ++r) kept.add_row(existing.rows()[r]);
+  const std::string tmp = path_ + ".tmp";
+  kept.save(tmp);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+    throw std::runtime_error("CsvWriter: rename " + tmp + " -> " + path_ +
+                             " failed");
+  out_.open(path_, std::ios::app);
+  if (!out_) throw std::runtime_error("CsvWriter: cannot reopen " + path_);
+  num_rows_ = rows;
+}
+
+void CsvWriter::open_fresh() {
+  out_.open(path_, std::ios::trunc);
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path_);
+  out_ << serialize_row(header_);
+  out_.flush();
+  if (!out_) throw std::runtime_error("CsvWriter: write failed: " + path_);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("CsvWriter::add_row: width mismatch");
+  out_ << serialize_row(cells);
+  out_.flush();
+  if (!out_) throw std::runtime_error("CsvWriter: write failed: " + path_);
+  ++num_rows_;
 }
 
 }  // namespace billcap::util

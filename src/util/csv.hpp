@@ -1,5 +1,6 @@
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,5 +59,39 @@ class Csv {
 
 /// Formats a double compactly but losslessly (shortest round-trip form).
 std::string format_double(double x);
+
+/// Incremental CSV writer for long-running loops: every appended row is
+/// written and flushed immediately, so a process killed mid-run leaves a
+/// readable file whose last line is a complete row (hour-aligned — no torn
+/// records for a resumed run to deduplicate).
+class CsvWriter {
+ public:
+  /// Starts a fresh file containing only the header.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Resumes an existing file: parses it, verifies the header matches,
+  /// keeps the first `keep_rows` data rows (dropping any beyond — rows a
+  /// checkpoint never committed), and appends after them. If the file does
+  /// not exist it is created fresh. Throws std::runtime_error on a header
+  /// mismatch or unparseable file.
+  CsvWriter(const std::string& path, std::vector<std::string> header,
+            std::size_t keep_rows);
+
+  /// Appends one row (must match the header width) and flushes to disk.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Data rows currently in the file (kept + appended).
+  std::size_t num_rows() const noexcept { return num_rows_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void open_fresh();
+
+  std::string path_;
+  std::vector<std::string> header_;
+  std::size_t num_rows_ = 0;
+  // The stream lives in a pimpl-free member; ofstream is movable.
+  std::ofstream out_;
+};
 
 }  // namespace billcap::util

@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 namespace billcap::util {
 
@@ -97,5 +98,15 @@ double Rng::exponential(double rate) noexcept {
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 Rng Rng::split() noexcept { return Rng((*this)()); }
+
+std::array<std::uint64_t, 4> Rng::state() const noexcept {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+  for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<std::size_t>(i)];
+  has_spare_ = false;
+  spare_normal_ = 0.0;
+}
 
 }  // namespace billcap::util

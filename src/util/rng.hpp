@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -53,6 +54,13 @@ class Rng {
   /// Derives an independent child generator; lets parallel workers share a
   /// root seed without sharing a stream.
   Rng split() noexcept;
+
+  /// The four xoshiro lanes, for durable checkpointing of a stream's
+  /// position. The cached spare normal is not part of the state: set_state
+  /// discards it, so save/restore is exact for the uniform/bernoulli draws
+  /// the checkpointed streams use, and merely re-draws a pending normal.
+  std::array<std::uint64_t, 4> state() const noexcept;
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept;
 
  private:
   std::uint64_t s_[4];

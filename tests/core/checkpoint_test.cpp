@@ -1,0 +1,242 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/simulator.hpp"
+
+namespace billcap::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// A synthetic mid-month state with every field off its default, including
+/// awkward doubles, so a save/load round trip exercises the whole format.
+CheckpointState sample_state() {
+  CheckpointState st;
+  st.config_digest = 0xdeadbeefcafef00dULL;
+  st.strategy = Strategy::kCostCapping;
+  st.next_hour = 2;
+  st.spent = 123456.78912345;
+  st.crashes_fired = 3;
+  st.feed.rng = {1, 0xffffffffffffffffULL, 42, 7};
+  st.feed.recovered_until = 29;
+
+  MonthlyResult& r = st.partial;
+  r.strategy = st.strategy;
+  r.monthly_budget = 1.5e6;
+  r.total_cost = st.spent;
+  r.total_premium_arrivals = 1000.25;
+  r.total_ordinary_arrivals = 9000.125;
+  r.total_served_premium = 1000.25;
+  r.total_served_ordinary = 8000.0625;
+  r.max_solve_ms = 3.14159;
+  r.degraded_hours = 1;
+  r.incumbent_hours = 1;
+  r.outage_hours = 1;
+  r.stale_hours = 2;
+  r.failure_tally[1] = 1;
+  r.feed_retry_attempts = 9;
+  r.feed_recovered_hours = 2;
+  r.crash_recoveries = 3;
+  for (std::size_t h = 0; h < st.next_hour; ++h) {
+    HourRecord rec;
+    rec.hour = h;
+    rec.arrivals = 5000.5 + static_cast<double>(h);
+    rec.premium_arrivals = 500.125;
+    rec.ordinary_arrivals = rec.arrivals - rec.premium_arrivals;
+    rec.served_premium = 500.125;
+    rec.served_ordinary = 4000.0 / 3.0;  // non-terminating binary fraction
+    rec.hourly_budget = 2083.333333333333;
+    rec.cost = 1999.99;
+    rec.predicted_cost = 1998.5;
+    rec.mode = CappingOutcome::Mode::kCapped;
+    rec.site_lambda = {1000.1, 2000.2, 3000.3};
+    rec.site_power_mw = {10.5, 20.25, 30.125};
+    rec.solve_ms = 2.5;
+    rec.nodes = 17;
+    rec.degraded = (h == 1);
+    rec.failure = (h == 1) ? FailureReason::kInfeasible : FailureReason::kNone;
+    rec.used_incumbent = (h == 1);
+    rec.sites_down = h;
+    rec.stale_prices = true;
+    rec.feed_attempts = 4;
+    rec.feed_recovered = (h == 0);
+    r.hours.push_back(rec);
+  }
+  return st;
+}
+
+void expect_states_bitwise_equal(const CheckpointState& a,
+                                 const CheckpointState& b) {
+  EXPECT_EQ(a.config_digest, b.config_digest);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.next_hour, b.next_hour);
+  EXPECT_EQ(a.spent, b.spent);
+  EXPECT_EQ(a.crashes_fired, b.crashes_fired);
+  EXPECT_EQ(a.feed.rng, b.feed.rng);
+  EXPECT_EQ(a.feed.recovered_until, b.feed.recovered_until);
+
+  const MonthlyResult& x = a.partial;
+  const MonthlyResult& y = b.partial;
+  EXPECT_EQ(x.monthly_budget, y.monthly_budget);
+  EXPECT_EQ(x.total_cost, y.total_cost);
+  EXPECT_EQ(x.total_premium_arrivals, y.total_premium_arrivals);
+  EXPECT_EQ(x.total_ordinary_arrivals, y.total_ordinary_arrivals);
+  EXPECT_EQ(x.total_served_premium, y.total_served_premium);
+  EXPECT_EQ(x.total_served_ordinary, y.total_served_ordinary);
+  EXPECT_EQ(x.max_solve_ms, y.max_solve_ms);
+  EXPECT_EQ(x.degraded_hours, y.degraded_hours);
+  EXPECT_EQ(x.incumbent_hours, y.incumbent_hours);
+  EXPECT_EQ(x.heuristic_hours, y.heuristic_hours);
+  EXPECT_EQ(x.outage_hours, y.outage_hours);
+  EXPECT_EQ(x.stale_hours, y.stale_hours);
+  EXPECT_EQ(x.failure_tally, y.failure_tally);
+  EXPECT_EQ(x.feed_retry_attempts, y.feed_retry_attempts);
+  EXPECT_EQ(x.feed_recovered_hours, y.feed_recovered_hours);
+  EXPECT_EQ(x.crash_recoveries, y.crash_recoveries);
+  ASSERT_EQ(x.hours.size(), y.hours.size());
+  for (std::size_t h = 0; h < x.hours.size(); ++h) {
+    const HourRecord& p = x.hours[h];
+    const HourRecord& q = y.hours[h];
+    EXPECT_EQ(p.hour, q.hour);
+    EXPECT_EQ(p.arrivals, q.arrivals);
+    EXPECT_EQ(p.premium_arrivals, q.premium_arrivals);
+    EXPECT_EQ(p.ordinary_arrivals, q.ordinary_arrivals);
+    EXPECT_EQ(p.served_premium, q.served_premium);
+    EXPECT_EQ(p.served_ordinary, q.served_ordinary);
+    EXPECT_EQ(p.hourly_budget, q.hourly_budget);
+    EXPECT_EQ(p.cost, q.cost);
+    EXPECT_EQ(p.predicted_cost, q.predicted_cost);
+    EXPECT_EQ(p.mode, q.mode);
+    EXPECT_EQ(p.site_lambda, q.site_lambda);
+    EXPECT_EQ(p.site_power_mw, q.site_power_mw);
+    EXPECT_EQ(p.solve_ms, q.solve_ms);
+    EXPECT_EQ(p.nodes, q.nodes);
+    EXPECT_EQ(p.degraded, q.degraded);
+    EXPECT_EQ(p.failure, q.failure);
+    EXPECT_EQ(p.used_incumbent, q.used_incumbent);
+    EXPECT_EQ(p.used_heuristic, q.used_heuristic);
+    EXPECT_EQ(p.sites_down, q.sites_down);
+    EXPECT_EQ(p.stale_prices, q.stale_prices);
+    EXPECT_EQ(p.feed_attempts, q.feed_attempts);
+    EXPECT_EQ(p.feed_recovered, q.feed_recovered);
+  }
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripIsBitwise) {
+  const std::string path = temp_path("billcap_checkpoint_test.j");
+  const CheckpointState st = sample_state();
+  save_checkpoint(path, st);
+  EXPECT_TRUE(checkpoint_exists(path));
+  const CheckpointState back = load_checkpoint(path);
+  expect_states_bitwise_equal(st, back);
+  std::remove(path.c_str());
+  EXPECT_FALSE(checkpoint_exists(path));
+}
+
+TEST(CheckpointTest, RepeatedSavesOverwriteAtomically) {
+  const std::string path = temp_path("billcap_checkpoint_overwrite.j");
+  CheckpointState st = sample_state();
+  for (std::size_t extra = 0; extra < 3; ++extra) {
+    save_checkpoint(path, st);
+    HourRecord rec;
+    rec.hour = st.next_hour++;
+    rec.cost = 1000.0 + static_cast<double>(extra);
+    st.partial.hours.push_back(rec);
+    st.spent += rec.cost;
+  }
+  save_checkpoint(path, st);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const CheckpointState back = load_checkpoint(path);
+  expect_states_bitwise_equal(st, back);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTruncatedAndCorruptedFiles) {
+  const std::string path = temp_path("billcap_checkpoint_damage.j");
+  save_checkpoint(path, sample_state());
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+
+  // Truncation at any prefix length must be detected, never half-loaded.
+  for (const double frac : {0.1, 0.5, 0.9, 0.99}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, static_cast<std::size_t>(
+                              static_cast<double>(text.size()) * frac));
+    out.close();
+    EXPECT_THROW(load_checkpoint(path), std::runtime_error)
+        << "truncated at " << frac;
+  }
+
+  // Single-byte corruption in the payload must be detected.
+  {
+    std::string corrupted = text;
+    const std::size_t pos = corrupted.find("next_hour=");
+    ASSERT_NE(pos, std::string::npos);
+    corrupted[pos + 10] = corrupted[pos + 10] == '9' ? '8' : '9';
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupted;
+    out.close();
+    EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  }
+
+  std::remove(path.c_str());
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);  // missing file
+}
+
+TEST(CheckpointTest, DigestSeparatesConfigsAndStrategies) {
+  SimulationConfig config;
+  const std::uint64_t base =
+      checkpoint_digest(config, Strategy::kCostCapping);
+
+  EXPECT_EQ(base, checkpoint_digest(config, Strategy::kCostCapping))
+      << "digest must be deterministic";
+  EXPECT_NE(base, checkpoint_digest(config, Strategy::kMinOnlyAvg));
+
+  SimulationConfig other = config;
+  other.seed ^= 1;
+  EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+
+  other = config;
+  other.monthly_budget += 1.0;
+  EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+
+  other = config;
+  other.fault_rates.stale_rate = 0.01;
+  EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+
+  other = config;
+  other.fault_plan.crashes.push_back({10, false});
+  EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+
+  other = config;
+  other.market_feed.retry_success_prob = 0.5;
+  EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+}
+
+TEST(CheckpointTest, HourCountInconsistencyIsRejected) {
+  const std::string path = temp_path("billcap_checkpoint_inconsistent.j");
+  CheckpointState st = sample_state();
+  st.next_hour = st.partial.hours.size() + 5;  // claims more than it holds
+  EXPECT_THROW(
+      {
+        save_checkpoint(path, st);
+        load_checkpoint(path);
+      },
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace billcap::core

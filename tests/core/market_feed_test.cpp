@@ -1,0 +1,163 @@
+#include "core/market_feed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fault_injector.hpp"
+
+namespace billcap::core {
+namespace {
+
+constexpr std::size_t kHorizon = 100;
+
+FaultInjector stale_injector() {
+  FaultPlan plan;
+  plan.stale_intervals.push_back({20, 10});  // hours [20, 30)
+  return FaultInjector(plan, 3, kHorizon);
+}
+
+TEST(MarketFeedTest, FreshFeedPassesThrough) {
+  MarketFeed feed(nullptr, {}, 42);
+  for (std::size_t h = 0; h < 5; ++h) {
+    const FeedObservation obs = feed.poll(h);
+    EXPECT_EQ(obs.observed_hour, h);
+    EXPECT_FALSE(obs.stale);
+    EXPECT_EQ(obs.attempts, 0);
+    EXPECT_FALSE(obs.recovered);
+  }
+}
+
+TEST(MarketFeedTest, DisabledRetryingMatchesFrozenInjectorFeed) {
+  // retry_success_prob == 0 is the legacy frozen feed: the observation must
+  // reproduce FaultInjector::observed_market_hour exactly, with no retries.
+  const FaultInjector injector = stale_injector();
+  MarketFeed feed(&injector, {}, 42);
+  for (std::size_t h = 0; h < kHorizon; ++h) {
+    const FeedObservation obs = feed.poll(h);
+    EXPECT_EQ(obs.stale, injector.prices_stale(h)) << "hour " << h;
+    EXPECT_EQ(obs.observed_hour, injector.observed_market_hour(h))
+        << "hour " << h;
+    EXPECT_EQ(obs.attempts, 0);
+    EXPECT_FALSE(obs.recovered);
+  }
+}
+
+TEST(MarketFeedTest, CertainRetrySuccessRecoversWholeInterval) {
+  const FaultInjector injector = stale_injector();
+  MarketFeedOptions opts;
+  opts.retry_success_prob = 1.0;
+  MarketFeed feed(&injector, opts, 42);
+  for (std::size_t h = 0; h < kHorizon; ++h) {
+    const FeedObservation obs = feed.poll(h);
+    EXPECT_EQ(obs.observed_hour, h) << "hour " << h;
+    if (h == 20) {
+      // First stale hour: one retry reconnects, fresh data mid-interval...
+      EXPECT_TRUE(obs.recovered);
+      EXPECT_EQ(obs.attempts, 1);
+      EXPECT_GT(obs.backoff_ms, 0.0);
+    } else {
+      // ...and the reconnect persists for the rest of the interval.
+      EXPECT_FALSE(obs.stale);
+      EXPECT_EQ(obs.attempts, 0);
+    }
+  }
+}
+
+TEST(MarketFeedTest, ImpossibleRetrySuccessStaysFrozen) {
+  const FaultInjector injector = stale_injector();
+  MarketFeedOptions opts;
+  opts.retry_success_prob = 1e-18;  // enabled, but will never land in 5 tries
+  opts.max_attempts_per_hour = 1;
+  MarketFeed feed(&injector, opts, 42);
+  bool any_recovered = false;
+  for (std::size_t h = 0; h < kHorizon; ++h)
+    any_recovered |= feed.poll(h).recovered;
+  EXPECT_FALSE(any_recovered);
+}
+
+TEST(MarketFeedTest, DeterministicInSeed) {
+  const FaultInjector injector = stale_injector();
+  MarketFeedOptions opts;
+  opts.retry_success_prob = 0.3;
+  std::vector<FeedObservation> a, b;
+  MarketFeed feed_a(&injector, opts, 7);
+  MarketFeed feed_b(&injector, opts, 7);
+  for (std::size_t h = 0; h < kHorizon; ++h) {
+    a.push_back(feed_a.poll(h));
+    b.push_back(feed_b.poll(h));
+  }
+  for (std::size_t h = 0; h < kHorizon; ++h) {
+    EXPECT_EQ(a[h].observed_hour, b[h].observed_hour) << "hour " << h;
+    EXPECT_EQ(a[h].stale, b[h].stale) << "hour " << h;
+    EXPECT_EQ(a[h].attempts, b[h].attempts) << "hour " << h;
+    EXPECT_EQ(a[h].recovered, b[h].recovered) << "hour " << h;
+    EXPECT_EQ(a[h].backoff_ms, b[h].backoff_ms) << "hour " << h;
+  }
+}
+
+TEST(MarketFeedTest, BackoffGrowsExponentiallyAndCaps) {
+  const FaultInjector injector = stale_injector();
+  MarketFeedOptions opts;
+  opts.retry_success_prob = 1e-18;  // force all attempts to run
+  opts.max_attempts_per_hour = 6;
+  opts.base_backoff_ms = 100.0;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_ms = 400.0;
+  opts.jitter_frac = 0.0;  // exact schedule
+  MarketFeed feed(&injector, opts, 42);
+  const FeedObservation obs = feed.poll(20);
+  EXPECT_EQ(obs.attempts, 6);
+  // 100 + 200 + 400 + 400 + 400 + 400 (clamped at max_backoff_ms).
+  EXPECT_DOUBLE_EQ(obs.backoff_ms, 1900.0);
+}
+
+TEST(MarketFeedTest, StateRoundTripResumesStreamBitExactly) {
+  const FaultInjector injector = stale_injector();
+  MarketFeedOptions opts;
+  opts.retry_success_prob = 0.3;
+
+  // Reference: poll straight through.
+  MarketFeed reference(&injector, opts, 99);
+  std::vector<FeedObservation> want;
+  for (std::size_t h = 0; h < kHorizon; ++h) want.push_back(reference.poll(h));
+
+  // Interrupted: snapshot at hour 25 (mid-interval), restore into a fresh
+  // client, continue. The tail must match the reference bitwise.
+  MarketFeed first(&injector, opts, 99);
+  for (std::size_t h = 0; h < 25; ++h) first.poll(h);
+  const MarketFeed::State snap = first.state();
+
+  MarketFeed second(&injector, opts, 1234);  // different seed on purpose
+  second.restore(snap);
+  for (std::size_t h = 25; h < kHorizon; ++h) {
+    const FeedObservation obs = second.poll(h);
+    EXPECT_EQ(obs.observed_hour, want[h].observed_hour) << "hour " << h;
+    EXPECT_EQ(obs.stale, want[h].stale) << "hour " << h;
+    EXPECT_EQ(obs.attempts, want[h].attempts) << "hour " << h;
+    EXPECT_EQ(obs.backoff_ms, want[h].backoff_ms) << "hour " << h;
+  }
+}
+
+TEST(MarketFeedTest, RejectsInvalidOptions) {
+  MarketFeedOptions bad;
+  bad.retry_success_prob = 1.5;
+  EXPECT_THROW(MarketFeed(nullptr, bad, 1), std::invalid_argument);
+  bad = {};
+  bad.retry_success_prob = 0.5;
+  bad.max_attempts_per_hour = 0;
+  EXPECT_THROW(MarketFeed(nullptr, bad, 1), std::invalid_argument);
+  bad = {};
+  bad.retry_success_prob = 0.5;
+  bad.base_backoff_ms = -1.0;
+  EXPECT_THROW(MarketFeed(nullptr, bad, 1), std::invalid_argument);
+  // A disabled feed never consults the backoff policy, so a degenerate
+  // policy with retrying off is fine (the legacy default construction).
+  MarketFeedOptions off;
+  off.base_backoff_ms = -1.0;
+  EXPECT_NO_THROW(MarketFeed(nullptr, off, 1));
+}
+
+}  // namespace
+}  // namespace billcap::core

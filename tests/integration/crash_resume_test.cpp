@@ -1,0 +1,218 @@
+// Crash/resume integration: a month that is killed and restarted from the
+// durable checkpoint — even at EVERY hour — must finish with a
+// MonthlyResult bitwise identical to the same seed run uninterrupted.
+//
+// The fault mix uses outages + stale feeds + demand shocks only: those are
+// the wall-clock-independent fault kinds (deadline squeezes depend on
+// machine speed, see DESIGN.md), so bitwise comparison is meaningful.
+// solve_ms / max_solve_ms are wall-clock measurements and excluded;
+// crash_recoveries differs by design (that is the point of the run).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/simulator.hpp"
+
+namespace billcap::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SimulationConfig faulty_config() {
+  SimulationConfig config;
+  config.monthly_budget = 1.5e6;
+  config.seed = 2012;
+  config.fault_rates.outage_rate = 0.003;
+  config.fault_rates.stale_rate = 0.02;
+  config.fault_rates.shock_rate = 0.005;
+  config.market_feed.retry_success_prob = 0.5;
+  return config;
+}
+
+/// Bitwise equality of two monthly results, except wall-clock measurements
+/// (solve_ms, max_solve_ms) and the crash-recovery counter.
+void expect_results_bitwise_equal(const MonthlyResult& a,
+                                  const MonthlyResult& b) {
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.monthly_budget, b.monthly_budget);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.total_premium_arrivals, b.total_premium_arrivals);
+  EXPECT_EQ(a.total_ordinary_arrivals, b.total_ordinary_arrivals);
+  EXPECT_EQ(a.total_served_premium, b.total_served_premium);
+  EXPECT_EQ(a.total_served_ordinary, b.total_served_ordinary);
+  EXPECT_EQ(a.degraded_hours, b.degraded_hours);
+  EXPECT_EQ(a.incumbent_hours, b.incumbent_hours);
+  EXPECT_EQ(a.heuristic_hours, b.heuristic_hours);
+  EXPECT_EQ(a.outage_hours, b.outage_hours);
+  EXPECT_EQ(a.stale_hours, b.stale_hours);
+  EXPECT_EQ(a.failure_tally, b.failure_tally);
+  EXPECT_EQ(a.feed_retry_attempts, b.feed_retry_attempts);
+  EXPECT_EQ(a.feed_recovered_hours, b.feed_recovered_hours);
+  ASSERT_EQ(a.hours.size(), b.hours.size());
+  for (std::size_t h = 0; h < a.hours.size(); ++h) {
+    const HourRecord& p = a.hours[h];
+    const HourRecord& q = b.hours[h];
+    EXPECT_EQ(p.hour, q.hour) << "hour " << h;
+    EXPECT_EQ(p.arrivals, q.arrivals) << "hour " << h;
+    EXPECT_EQ(p.premium_arrivals, q.premium_arrivals) << "hour " << h;
+    EXPECT_EQ(p.ordinary_arrivals, q.ordinary_arrivals) << "hour " << h;
+    EXPECT_EQ(p.served_premium, q.served_premium) << "hour " << h;
+    EXPECT_EQ(p.served_ordinary, q.served_ordinary) << "hour " << h;
+    EXPECT_EQ(p.hourly_budget, q.hourly_budget) << "hour " << h;
+    EXPECT_EQ(p.cost, q.cost) << "hour " << h;
+    EXPECT_EQ(p.predicted_cost, q.predicted_cost) << "hour " << h;
+    EXPECT_EQ(p.mode, q.mode) << "hour " << h;
+    EXPECT_EQ(p.site_lambda, q.site_lambda) << "hour " << h;
+    EXPECT_EQ(p.site_power_mw, q.site_power_mw) << "hour " << h;
+    EXPECT_EQ(p.nodes, q.nodes) << "hour " << h;
+    EXPECT_EQ(p.degraded, q.degraded) << "hour " << h;
+    EXPECT_EQ(p.failure, q.failure) << "hour " << h;
+    EXPECT_EQ(p.used_incumbent, q.used_incumbent) << "hour " << h;
+    EXPECT_EQ(p.used_heuristic, q.used_heuristic) << "hour " << h;
+    EXPECT_EQ(p.sites_down, q.sites_down) << "hour " << h;
+    EXPECT_EQ(p.stale_prices, q.stale_prices) << "hour " << h;
+    EXPECT_EQ(p.feed_attempts, q.feed_attempts) << "hour " << h;
+    EXPECT_EQ(p.feed_recovered, q.feed_recovered) << "hour " << h;
+  }
+}
+
+/// Runs the month through run_resumable, restarting after every crash,
+/// and returns the completed result plus the number of restarts taken.
+MonthlyResult run_to_completion(const Simulator& sim, Strategy strategy,
+                                const std::string& path,
+                                std::size_t* restarts = nullptr) {
+  std::remove(path.c_str());
+  Simulator::ResumableOutcome outcome =
+      sim.run_resumable(strategy, path, /*resume=*/false);
+  std::size_t n = 0;
+  while (outcome.crashed) {
+    ++n;
+    outcome = sim.run_resumable(strategy, path, /*resume=*/true);
+  }
+  if (restarts) *restarts = n;
+  std::remove(path.c_str());
+  return outcome.result;
+}
+
+TEST(CrashResumeTest, NoCrashesMatchesPlainRun) {
+  const SimulationConfig config = faulty_config();
+  const Simulator sim(config);
+  const MonthlyResult want = sim.run(Strategy::kCostCapping);
+  std::size_t restarts = 999;
+  const MonthlyResult got =
+      run_to_completion(sim, Strategy::kCostCapping,
+                        temp_path("billcap_resume_none.j"), &restarts);
+  EXPECT_EQ(restarts, 0u);
+  EXPECT_EQ(got.crash_recoveries, 0u);
+  expect_results_bitwise_equal(want, got);
+}
+
+TEST(CrashResumeTest, KillAtEveryHourReproducesUninterruptedMonth) {
+  // One crash planned at EVERY hour of the month, alternating between
+  // dying just before the hour's checkpoint commits (the hour must be
+  // recomputed on resume) and just after (resume continues at the next
+  // hour). Every hour of the month therefore exercises a resume.
+  SimulationConfig config = faulty_config();
+  const Simulator reference(config);
+  const MonthlyResult want = reference.run(Strategy::kCostCapping);
+  const std::size_t month_hours = want.hours.size();
+
+  for (std::size_t h = 0; h < month_hours; ++h)
+    config.fault_plan.crashes.push_back({h, /*before_checkpoint=*/h % 2 == 0});
+  const Simulator sim(config);
+
+  std::size_t restarts = 0;
+  const MonthlyResult got =
+      run_to_completion(sim, Strategy::kCostCapping,
+                        temp_path("billcap_resume_every_hour.j"), &restarts);
+  EXPECT_EQ(restarts, month_hours);
+  EXPECT_EQ(got.crash_recoveries, month_hours);
+  expect_results_bitwise_equal(want, got);
+}
+
+TEST(CrashResumeTest, CrashReportsHourAndResumePoint) {
+  SimulationConfig config = faulty_config();
+  config.fault_plan.crashes.push_back({10, /*before_checkpoint=*/false});
+  config.fault_plan.crashes.push_back({11, /*before_checkpoint=*/true});
+  const Simulator sim(config);
+  const std::string path = temp_path("billcap_resume_report.j");
+  std::remove(path.c_str());
+
+  // Crash after hour 10's checkpoint: hours [0, 10] are committed.
+  Simulator::ResumableOutcome outcome =
+      sim.run_resumable(Strategy::kCostCapping, path, false);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.crash_hour, 10u);
+  EXPECT_EQ(load_checkpoint(path).next_hour, 11u);
+
+  // Crash before hour 11's checkpoint: hour 11 is NOT committed and will
+  // be recomputed by the next resume.
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.crash_hour, 11u);
+  EXPECT_EQ(outcome.resumed_from, 11u);
+  EXPECT_EQ(load_checkpoint(path).next_hour, 11u);
+
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true);
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_EQ(outcome.result.crash_recoveries, 2u);
+  expect_results_bitwise_equal(sim.run(Strategy::kCostCapping),
+                               outcome.result);
+  std::remove(path.c_str());
+}
+
+TEST(CrashResumeTest, ResumeUnderDifferentConfigIsRefused) {
+  SimulationConfig config = faulty_config();
+  config.fault_plan.crashes.push_back({5, false});
+  const Simulator sim(config);
+  const std::string path = temp_path("billcap_resume_mismatch.j");
+  std::remove(path.c_str());
+  const Simulator::ResumableOutcome outcome =
+      sim.run_resumable(Strategy::kCostCapping, path, false);
+  ASSERT_TRUE(outcome.crashed);
+
+  SimulationConfig other = faulty_config();
+  other.seed = 999;  // different month entirely
+  other.fault_plan.crashes.push_back({5, false});
+  const Simulator wrong(other);
+  EXPECT_THROW(wrong.run_resumable(Strategy::kCostCapping, path, true),
+               std::runtime_error);
+  // A different strategy under the same config is a mismatch too.
+  EXPECT_THROW(sim.run_resumable(Strategy::kMinOnlyAvg, path, true),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CrashResumeTest, CorruptedCheckpointIsRefusedOnResume) {
+  SimulationConfig config = faulty_config();
+  config.fault_plan.crashes.push_back({5, false});
+  const Simulator sim(config);
+  const std::string path = temp_path("billcap_resume_corrupt.j");
+  std::remove(path.c_str());
+  ASSERT_TRUE(sim.run_resumable(Strategy::kCostCapping, path, false).crashed);
+
+  // Truncate the file to half: the resume must refuse, not half-load.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+  EXPECT_THROW(sim.run_resumable(Strategy::kCostCapping, path, true),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace billcap::core

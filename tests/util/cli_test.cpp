@@ -77,5 +77,57 @@ TEST(CliArgsTest, EmptyArgv) {
   EXPECT_FALSE(args.has("anything"));
 }
 
+TEST(CliArgsTest, GetProbAcceptsRangeAndFallsBack) {
+  const CliArgs args = parse({"run", "--p", "0.25"});
+  EXPECT_DOUBLE_EQ(args.get_prob("p", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_prob("absent", 0.5), 0.5);
+  const CliArgs edges = parse({"run", "--lo", "0", "--hi", "1"});
+  EXPECT_DOUBLE_EQ(edges.get_prob("lo", 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(edges.get_prob("hi", 0.5), 1.0);
+}
+
+TEST(CliArgsTest, GetProbRejectsOutOfRangeNanAndGarbage) {
+  EXPECT_THROW(parse({"run", "--p", "-0.1"}).get_prob("p", 0.0), UsageError);
+  EXPECT_THROW(parse({"run", "--p", "1.5"}).get_prob("p", 0.0), UsageError);
+  EXPECT_THROW(parse({"run", "--p", "nan"}).get_prob("p", 0.0), UsageError);
+  EXPECT_THROW(parse({"run", "--p", "abc"}).get_prob("p", 0.0), UsageError);
+}
+
+TEST(CliArgsTest, GetPositiveDoubleRejectsNonPositiveAndNonFinite) {
+  const CliArgs ok = parse({"run", "--ms", "250.5"});
+  EXPECT_DOUBLE_EQ(ok.get_positive_double("ms", 1.0), 250.5);
+  EXPECT_THROW(parse({"run", "--ms", "0"}).get_positive_double("ms", 1.0),
+               UsageError);
+  EXPECT_THROW(parse({"run", "--ms", "-3"}).get_positive_double("ms", 1.0),
+               UsageError);
+  EXPECT_THROW(parse({"run", "--ms", "inf"}).get_positive_double("ms", 1.0),
+               UsageError);
+  EXPECT_THROW(parse({"run", "--ms", "nan"}).get_positive_double("ms", 1.0),
+               UsageError);
+}
+
+TEST(CliArgsTest, GetPositiveLongRejectsZeroAndNegative) {
+  const CliArgs ok = parse({"run", "--n", "4"});
+  EXPECT_EQ(ok.get_positive_long("n", 1), 4);
+  EXPECT_THROW(parse({"run", "--n", "0"}).get_positive_long("n", 1),
+               UsageError);
+  EXPECT_THROW(parse({"run", "--n", "-2"}).get_positive_long("n", 1),
+               UsageError);
+  EXPECT_THROW(parse({"run", "--n", "2.5"}).get_positive_long("n", 1),
+               UsageError);
+}
+
+TEST(CliArgsTest, UsageErrorIsDistinguishableFromRuntimeError) {
+  // main() maps UsageError to exit code 2 and other exceptions to 1, so
+  // the validated getters must throw the distinct type.
+  try {
+    parse({"run", "--p", "2"}).get_prob("p", 0.0);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError&) {
+  } catch (const std::exception&) {
+    FAIL() << "wrong exception type";
+  }
+}
+
 }  // namespace
 }  // namespace billcap::util

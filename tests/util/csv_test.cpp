@@ -91,5 +91,67 @@ TEST(CsvTest, FormatDoubleRoundTrips) {
   }
 }
 
+namespace {
+std::string writer_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+}  // namespace
+
+TEST(CsvWriterTest, EveryRowIsOnDiskImmediately) {
+  const std::string path = writer_path("billcap_csv_writer_flush.csv");
+  CsvWriter writer(path, {"hour", "cost"});
+  for (int h = 0; h < 3; ++h) {
+    writer.add_row({std::to_string(h), "1.5"});
+    // Flushed after every row: a reader (or a post-mortem after a kill)
+    // sees all committed rows without waiting for the writer to close.
+    const Csv seen = Csv::load(path);
+    EXPECT_EQ(seen.num_rows(), static_cast<std::size_t>(h + 1));
+  }
+  EXPECT_EQ(writer.num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, RowWidthMismatchThrows) {
+  const std::string path = writer_path("billcap_csv_writer_width.csv");
+  CsvWriter writer(path, {"a", "b"});
+  EXPECT_THROW(writer.add_row({"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ResumeKeepsCommittedRowsAndDropsTail) {
+  const std::string path = writer_path("billcap_csv_writer_resume.csv");
+  {
+    CsvWriter writer(path, {"hour", "cost"});
+    for (int h = 0; h < 5; ++h) writer.add_row({std::to_string(h), "1"});
+  }
+  // Resume as if only the first 3 rows were checkpoint-committed: rows 3-4
+  // are dropped, appends continue at row 3, nothing is duplicated.
+  CsvWriter resumed(path, {"hour", "cost"}, 3);
+  EXPECT_EQ(resumed.num_rows(), 3u);
+  resumed.add_row({"3", "2"});
+  const Csv seen = Csv::load(path);
+  ASSERT_EQ(seen.num_rows(), 4u);
+  EXPECT_EQ(seen.cell_as_double(2, 1), 1.0);
+  EXPECT_EQ(seen.cell_as_double(3, 1), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ResumeOfMissingFileStartsFresh) {
+  const std::string path = writer_path("billcap_csv_writer_absent.csv");
+  std::remove(path.c_str());
+  CsvWriter writer(path, {"a"}, 10);
+  EXPECT_EQ(writer.num_rows(), 0u);
+  writer.add_row({"1"});
+  EXPECT_EQ(Csv::load(path).num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ResumeHeaderMismatchThrows) {
+  const std::string path = writer_path("billcap_csv_writer_header.csv");
+  { CsvWriter writer(path, {"a", "b"}); }
+  EXPECT_THROW(CsvWriter(path, {"x", "y"}, 0), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace billcap::util

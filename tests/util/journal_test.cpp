@@ -1,0 +1,147 @@
+#include "util/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+namespace billcap::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(JournalTest, RoundTripsAllValueTypes) {
+  Journal j("journal-test", 3);
+  j.set("name", "evaluation month");
+  j.set_u64("big", 0xffffffffffffffffULL);
+  j.set_size("count", 720);
+  j.set_double_bits("pi", 3.14159265358979312);
+  j.set_double_list("lanes", {0.0, -0.0, 1.5e-300, 2.75});
+
+  const Journal back = Journal::parse(j.serialize(), "journal-test", 3);
+  EXPECT_EQ(back.version(), 3);
+  EXPECT_EQ(back.get("name"), "evaluation month");
+  EXPECT_EQ(back.get_u64("big"), 0xffffffffffffffffULL);
+  EXPECT_EQ(back.get_size("count"), 720u);
+  EXPECT_EQ(back.get_double_bits("pi"), 3.14159265358979312);
+  const auto lanes = back.get_double_list("lanes");
+  ASSERT_EQ(lanes.size(), 4u);
+  EXPECT_EQ(lanes[0], 0.0);
+  EXPECT_TRUE(std::signbit(lanes[1]));  // -0.0 survives bitwise
+  EXPECT_EQ(lanes[2], 1.5e-300);
+  EXPECT_EQ(lanes[3], 2.75);
+  EXPECT_TRUE(back.has("pi"));
+  EXPECT_FALSE(back.has("absent"));
+}
+
+TEST(JournalTest, DoubleBitsAreExactForNonFiniteAndDenormal) {
+  Journal j("journal-test", 1);
+  j.set_double_bits("inf", std::numeric_limits<double>::infinity());
+  j.set_double_bits("denorm", std::numeric_limits<double>::denorm_min());
+  const Journal back = Journal::parse(j.serialize(), "journal-test", 1);
+  EXPECT_EQ(back.get_double_bits("inf"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(back.get_double_bits("denorm"),
+            std::numeric_limits<double>::denorm_min());
+}
+
+TEST(JournalTest, RejectsDuplicateAndMalformedKeys) {
+  Journal j("journal-test", 1);
+  j.set("key", "v");
+  EXPECT_THROW(j.set("key", "again"), std::invalid_argument);
+  EXPECT_THROW(j.set("", "v"), std::invalid_argument);
+  EXPECT_THROW(j.set("a=b", "v"), std::invalid_argument);
+  EXPECT_THROW(j.set("nl", "line1\nline2"), std::invalid_argument);
+}
+
+TEST(JournalTest, MissingKeyAndWrongTypeThrow) {
+  Journal j("journal-test", 1);
+  j.set("word", "hello");
+  const Journal back = Journal::parse(j.serialize(), "journal-test", 1);
+  EXPECT_THROW(back.get("absent"), std::runtime_error);
+  EXPECT_THROW(back.get_u64("word"), std::runtime_error);
+  EXPECT_THROW(back.get_double_bits("word"), std::runtime_error);
+}
+
+TEST(JournalTest, RejectsWrongMagicAndNewerVersion) {
+  Journal j("journal-test", 2);
+  j.set("k", "v");
+  const std::string text = j.serialize();
+  EXPECT_THROW(Journal::parse(text, "other-magic", 2), std::runtime_error);
+  // A reader that only understands version 1 must refuse version 2.
+  EXPECT_THROW(Journal::parse(text, "journal-test", 1), std::runtime_error);
+  // A reader that understands a newer format still reads the old one.
+  EXPECT_NO_THROW(Journal::parse(text, "journal-test", 5));
+}
+
+TEST(JournalTest, DetectsTruncationAndCorruption) {
+  Journal j("journal-test", 1);
+  j.set("spent", "123456");
+  j.set("hour", "77");
+  const std::string text = j.serialize();
+
+  // Truncation: drop the checksum line (a partial write / torn file).
+  const std::string truncated = text.substr(0, text.rfind("checksum"));
+  EXPECT_THROW(Journal::parse(truncated, "journal-test", 1),
+               std::runtime_error);
+
+  // Corruption: flip one payload byte; checksum no longer matches.
+  std::string corrupted = text;
+  corrupted[corrupted.find("123456")] = '9';
+  EXPECT_THROW(Journal::parse(corrupted, "journal-test", 1),
+               std::runtime_error);
+
+  EXPECT_THROW(Journal::parse("", "journal-test", 1), std::runtime_error);
+}
+
+TEST(JournalTest, SaveAtomicLoadsBackAndLeavesNoTempFile) {
+  const std::string path = temp_path("billcap_journal_test.j");
+  Journal j("journal-test", 1);
+  j.set_size("hour", 42);
+  j.save_atomic(path);
+
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const Journal back = Journal::load(path, "journal-test", 1);
+  EXPECT_EQ(back.get_size("hour"), 42u);
+
+  // Overwrite must replace, not append.
+  Journal j2("journal-test", 1);
+  j2.set_size("hour", 43);
+  j2.save_atomic(path);
+  EXPECT_EQ(Journal::load(path, "journal-test", 1).get_size("hour"), 43u);
+
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, LoadRejectsMissingAndTruncatedFiles) {
+  EXPECT_THROW(Journal::load(temp_path("billcap_journal_absent.j"),
+                             "journal-test", 1),
+               std::runtime_error);
+
+  const std::string path = temp_path("billcap_journal_trunc.j");
+  Journal j("journal-test", 1);
+  j.set("k", "a long enough value to truncate meaningfully");
+  j.save_atomic(path);
+  const std::string text = slurp(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+  EXPECT_THROW(Journal::load(path, "journal-test", 1), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace billcap::util

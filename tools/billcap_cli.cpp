@@ -7,6 +7,9 @@
 //                      [--squeezes start:dur:ms,...] [--deadline-ms X]
 //                      [--fault-outage-rate p] [--fault-stale-rate p]
 //                      [--fault-shock-rate p] [--fault-squeeze-rate p]
+//                      [--fault-*-mean H] [--crash-rate p] [--crash-at h,..]
+//                      [--feed-retry-prob p] [--feed-max-retries N]
+//                      [--checkpoint path] [--resume]
 //                      [--min-premium r]
 //   billcap sweep      [--budgets a,b,c] [--policy 0..3] [--seed N]
 //   billcap opf        [--load MW]
@@ -14,16 +17,24 @@
 //   billcap help
 //
 // Every command prints human-readable tables; `simulate --csv` dumps the
-// hourly records for plotting. Exit codes: 0 success, 1 error, 2 usage,
-// 3 unrecoverable degradation (the premium QoS guarantee was broken).
+// hourly records for plotting.
+//
+// Exit codes:
+//   0  success
+//   1  runtime error (I/O failure, corrupted checkpoint, internal error)
+//   2  usage error (unknown command, unparseable or out-of-range flag)
+//   3  unrecoverable degradation (the premium QoS guarantee was broken)
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/simulator.hpp"
 #include "market/dcopf.hpp"
 #include "market/pjm5.hpp"
@@ -42,12 +53,13 @@ core::Strategy parse_strategy(const std::string& name) {
   if (name == "costcapping") return core::Strategy::kCostCapping;
   if (name == "minonly-avg") return core::Strategy::kMinOnlyAvg;
   if (name == "minonly-low") return core::Strategy::kMinOnlyLow;
-  throw std::runtime_error(
+  throw util::UsageError(
       "--strategy: expected costcapping | minonly-avg | minonly-low");
 }
 
 /// Splits "a:b:c,d:e:f" into rows of numeric fields; every row must have
-/// exactly `fields` entries.
+/// exactly `fields` entries, all finite and non-negative (fault schedules
+/// have no meaningful negative field). Malformed specs are usage errors.
 std::vector<std::vector<double>> parse_tuples(const std::string& spec,
                                               std::size_t fields,
                                               const std::string& flag) {
@@ -59,48 +71,126 @@ std::vector<std::vector<double>> parse_tuples(const std::string& spec,
     std::vector<double> row;
     std::stringstream tuple(item);
     std::string field;
-    while (std::getline(tuple, field, ':')) row.push_back(std::stod(field));
+    while (std::getline(tuple, field, ':')) {
+      try {
+        row.push_back(std::stod(field));
+      } catch (const std::exception&) {
+        throw util::UsageError("--" + flag + ": bad number '" + field +
+                               "' in '" + item + "'");
+      }
+    }
     if (row.size() != fields)
-      throw std::runtime_error("--" + flag + ": expected " +
-                               std::to_string(fields) +
-                               " colon-separated fields, got '" + item + "'");
+      throw util::UsageError("--" + flag + ": expected " +
+                             std::to_string(fields) +
+                             " colon-separated fields, got '" + item + "'");
+    for (double v : row)
+      if (!std::isfinite(v) || v < 0.0)
+        throw util::UsageError("--" + flag +
+                               ": fields must be finite and >= 0, got '" +
+                               item + "'");
     rows.push_back(std::move(row));
   }
   return rows;
 }
 
+/// A fault interval of zero hours is almost always a typo that silently
+/// injects nothing; reject it loudly.
+void require_duration(double hours, const std::string& flag,
+                      const std::string& item_desc) {
+  if (hours < 1.0)
+    throw util::UsageError("--" + flag + ": duration must be >= 1 hour" +
+                           item_desc);
+}
+
 /// Builds the fault schedule from the CLI flags: explicit interval flags
 /// populate a FaultPlan, rate flags populate FaultRates (the simulator
-/// draws the plan from the seed).
+/// draws the plan from the seed). Degenerate values — negative or NaN
+/// rates, zero mean durations, non-positive deadlines — are rejected with
+/// a UsageError (exit 2) instead of generating a broken plan.
 void parse_faults(const util::CliArgs& args, core::SimulationConfig& config) {
   for (const auto& t :
-       parse_tuples(args.get("outages"), 3, "outages"))
+       parse_tuples(args.get("outages"), 3, "outages")) {
+    require_duration(t[2], "outages", "");
     config.fault_plan.outages.push_back(
         {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
          static_cast<std::size_t>(t[2])});
-  for (const auto& t : parse_tuples(args.get("stale"), 2, "stale"))
+  }
+  for (const auto& t : parse_tuples(args.get("stale"), 2, "stale")) {
+    require_duration(t[1], "stale", "");
     config.fault_plan.stale_intervals.push_back(
         {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1])});
-  for (const auto& t : parse_tuples(args.get("shocks"), 4, "shocks"))
+  }
+  for (const auto& t : parse_tuples(args.get("shocks"), 4, "shocks")) {
+    require_duration(t[2], "shocks", "");
+    if (t[3] <= 0.0)
+      throw util::UsageError("--shocks: multiplier must be > 0");
     config.fault_plan.demand_shocks.push_back(
         {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
          static_cast<std::size_t>(t[2]), t[3]});
-  for (const auto& t : parse_tuples(args.get("squeezes"), 3, "squeezes"))
+  }
+  for (const auto& t : parse_tuples(args.get("squeezes"), 3, "squeezes")) {
+    require_duration(t[1], "squeezes", "");
+    if (t[2] <= 0.0)
+      throw util::UsageError("--squeezes: time limit must be > 0 ms");
     config.fault_plan.deadline_squeezes.push_back(
         {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
          t[2]});
-  config.fault_rates.outage_rate = args.get_double("fault-outage-rate", 0.0);
-  config.fault_rates.stale_rate = args.get_double("fault-stale-rate", 0.0);
-  config.fault_rates.shock_rate = args.get_double("fault-shock-rate", 0.0);
-  config.fault_rates.squeeze_rate =
-      args.get_double("fault-squeeze-rate", 0.0);
-  // A solver deadline for every hour of the month (0 = unlimited).
-  config.optimizer.milp.time_limit_ms = args.get_double("deadline-ms", 0.0);
+  }
+  for (const auto& t : parse_tuples(args.get("crash-at"), 1, "crash-at"))
+    config.fault_plan.crashes.push_back(
+        {static_cast<std::size_t>(t[0]), false});
+
+  config.fault_rates.outage_rate = args.get_prob("fault-outage-rate", 0.0);
+  config.fault_rates.stale_rate = args.get_prob("fault-stale-rate", 0.0);
+  config.fault_rates.shock_rate = args.get_prob("fault-shock-rate", 0.0);
+  config.fault_rates.squeeze_rate = args.get_prob("fault-squeeze-rate", 0.0);
+  config.fault_rates.crash_rate = args.get_prob("crash-rate", 0.0);
+  config.fault_rates.outage_mean_hours = static_cast<std::size_t>(
+      args.get_positive_long("fault-outage-mean", 6));
+  config.fault_rates.stale_mean_hours = static_cast<std::size_t>(
+      args.get_positive_long("fault-stale-mean", 4));
+  config.fault_rates.shock_mean_hours = static_cast<std::size_t>(
+      args.get_positive_long("fault-shock-mean", 3));
+  config.fault_rates.squeeze_mean_hours = static_cast<std::size_t>(
+      args.get_positive_long("fault-squeeze-mean", 2));
+
+  // Market-feed retry policy (0 = legacy frozen feed).
+  config.market_feed.retry_success_prob =
+      args.get_prob("feed-retry-prob", 0.0);
+  config.market_feed.max_attempts_per_hour = static_cast<int>(
+      args.get_positive_long("feed-max-retries", 5));
+  config.market_feed.base_backoff_ms =
+      args.get_positive_double("feed-backoff-ms", 100.0);
+
+  // A solver deadline for every hour of the month (absent = unlimited; an
+  // explicit non-positive deadline is degenerate, not "unlimited").
+  if (args.has("deadline-ms"))
+    config.optimizer.milp.time_limit_ms =
+        args.get_positive_double("deadline-ms", 0.0);
+}
+
+/// Column set of the per-hour CSV (written whole for plain runs, streamed
+/// row-by-row for checkpointed ones).
+std::vector<std::string> hour_csv_header() {
+  return {"hour", "arrivals", "served_premium", "served_ordinary",
+          "hourly_budget", "cost", "mode", "degraded", "failure",
+          "sites_down", "stale", "feed_retries", "feed_recovered"};
+}
+
+std::vector<std::string> hour_csv_row(const core::HourRecord& h) {
+  return {std::to_string(h.hour), util::format_double(h.arrivals),
+          util::format_double(h.served_premium),
+          util::format_double(h.served_ordinary),
+          util::format_double(h.hourly_budget),
+          util::format_double(h.cost), core::to_string(h.mode),
+          h.degraded ? "1" : "0", core::to_string(h.failure),
+          std::to_string(h.sites_down), h.stale_prices ? "1" : "0",
+          std::to_string(h.feed_attempts), h.feed_recovered ? "1" : "0"};
 }
 
 int cmd_simulate(const util::CliArgs& args) {
   core::SimulationConfig config;
-  config.monthly_budget = args.get_double("budget", 1.5e6);
+  config.monthly_budget = args.get_positive_double("budget", 1.5e6);
   config.policy_level = static_cast<int>(args.get_long("policy", 1));
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
   config.enforce_budget = !args.get_bool("no-cap", false);
@@ -109,14 +199,26 @@ int cmd_simulate(const util::CliArgs& args) {
       parse_strategy(args.get("strategy", "costcapping"));
   // Below this premium throughput the run counts as an unrecoverable
   // failure: the QoS guarantee was broken (exit code 3).
-  const double min_premium = args.get_double("min-premium", 0.995);
+  const double min_premium = args.get_prob("min-premium", 0.995);
+
+  const std::string checkpoint_path = args.get("checkpoint");
+  const bool resume = args.get_bool("resume", false);
+  if (resume && checkpoint_path.empty())
+    throw util::UsageError("--resume requires --checkpoint <path>");
+  if (checkpoint_path.empty() && !config.fault_plan.crashes.empty())
+    throw util::UsageError("--crash-at requires --checkpoint <path>");
+  if (checkpoint_path.empty() && config.fault_rates.crash_rate > 0.0)
+    throw util::UsageError("--crash-rate requires --checkpoint <path>");
 
   const core::Simulator sim(config);
 
-  const long months = args.get_long("months", 1);
+  const long months = args.get_positive_long("months", 1);
   if (months > 1) {
     if (strategy != core::Strategy::kCostCapping)
-      throw std::runtime_error("--months: multi-month runs are CostCapping only");
+      throw util::UsageError("--months: multi-month runs are CostCapping only");
+    if (!checkpoint_path.empty())
+      throw util::UsageError(
+          "--checkpoint supports single-month runs only (--months 1)");
     const auto results =
         sim.run_months(static_cast<std::size_t>(months));
     util::Table table({"month", "cost $", "cost/budget", "premium",
@@ -142,7 +244,47 @@ int cmd_simulate(const util::CliArgs& args) {
     return 0;
   }
 
-  const core::MonthlyResult r = sim.run(strategy);
+  const std::string csv_path = args.get("csv");
+  core::MonthlyResult r;
+  if (!checkpoint_path.empty()) {
+    // Crash-tolerant month: every hour is durably checkpointed, the CSV is
+    // streamed (and flushed) in lockstep with the checkpoint, and injected
+    // controller crashes are survived by resuming in-process.
+    std::unique_ptr<util::CsvWriter> writer;
+    const auto on_hour = [&](const core::HourRecord& h) {
+      if (csv_path.empty()) return;
+      // First committed hour of this attempt: keep only the CSV rows the
+      // checkpoint vouches for, so a resumed run appends without
+      // duplicating hours.
+      if (!writer)
+        writer = std::make_unique<util::CsvWriter>(csv_path,
+                                                   hour_csv_header(), h.hour);
+      writer->add_row(hour_csv_row(h));
+    };
+
+    core::Simulator::ResumableOutcome outcome =
+        sim.run_resumable(strategy, checkpoint_path, resume, on_hour);
+    std::size_t restarts = 0;
+    while (outcome.crashed) {
+      ++restarts;
+      std::fprintf(stderr,
+                   "controller crashed at hour %zu; resuming from %s\n",
+                   outcome.crash_hour, checkpoint_path.c_str());
+      writer.reset();  // reopen against the post-crash checkpoint state
+      outcome = sim.run_resumable(strategy, checkpoint_path, true, on_hour);
+    }
+    r = std::move(outcome.result);
+    if (restarts > 0)
+      std::printf("recovered from %zu controller crash(es)\n", restarts);
+    if (csv_path.empty()) {
+      // nothing streamed
+    } else if (writer) {
+      std::printf("wrote %s (%zu rows)\n", csv_path.c_str(),
+                  writer->num_rows());
+    }
+  } else {
+    r = sim.run(strategy);
+  }
 
   std::printf("strategy %s | policy %d | budget $%.2fM | seed %llu\n",
               core::to_string(strategy), config.policy_level,
@@ -166,22 +308,18 @@ int cmd_simulate(const util::CliArgs& args) {
     table.add_row({"outage hours", std::to_string(r.outage_hours)});
     table.add_row({"stale-feed hours", std::to_string(r.stale_hours)});
   }
+  if (config.market_feed.enabled() || r.feed_retry_attempts > 0) {
+    table.add_row({"feed retries", std::to_string(r.feed_retry_attempts)});
+    table.add_row(
+        {"feed recoveries", std::to_string(r.feed_recovered_hours)});
+  }
+  if (r.crash_recoveries > 0)
+    table.add_row({"crash recoveries", std::to_string(r.crash_recoveries)});
   table.print(std::cout);
 
-  const std::string csv_path = args.get("csv");
-  if (!csv_path.empty()) {
-    util::Csv csv({"hour", "arrivals", "served_premium", "served_ordinary",
-                   "hourly_budget", "cost", "mode", "degraded", "failure",
-                   "sites_down", "stale"});
-    for (const auto& h : r.hours) {
-      csv.add_row({std::to_string(h.hour), util::format_double(h.arrivals),
-                   util::format_double(h.served_premium),
-                   util::format_double(h.served_ordinary),
-                   util::format_double(h.hourly_budget),
-                   util::format_double(h.cost), core::to_string(h.mode),
-                   h.degraded ? "1" : "0", core::to_string(h.failure),
-                   std::to_string(h.sites_down), h.stale_prices ? "1" : "0"});
-    }
+  if (!csv_path.empty() && checkpoint_path.empty()) {
+    util::Csv csv(hour_csv_header());
+    for (const auto& h : r.hours) csv.add_row(hour_csv_row(h));
     csv.save(csv_path);
     std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), csv.num_rows());
   }
@@ -288,12 +426,26 @@ int cmd_help() {
       "              --squeezes start:dur:ms,...  or random via\n"
       "              --fault-outage-rate --fault-stale-rate\n"
       "              --fault-shock-rate --fault-squeeze-rate (per hour)\n"
+      "              with mean interval lengths --fault-outage-mean\n"
+      "              --fault-stale-mean --fault-shock-mean\n"
+      "              --fault-squeeze-mean (hours, >= 1)\n"
+      "            market-feed retry: --feed-retry-prob p (per attempt)\n"
+      "              --feed-max-retries N --feed-backoff-ms B\n"
+      "            crash tolerance: --checkpoint path (durable per-hour\n"
+      "              checkpoint) --resume (continue from it)\n"
+      "              --crash-at h1,h2,...  --crash-rate p (injected\n"
+      "              controller deaths, survived via the checkpoint)\n"
       "            --deadline-ms M   hard wall-clock limit per solve\n"
       "            --min-premium r   exit 3 if premium throughput < r\n"
       "  sweep     budget sweep (--budgets 0.5e6,1e6,... --policy --seed)\n"
       "  opf       PJM 5-bus optimal power flow (--load MW)\n"
       "  trace     synthetic workload statistics (--seed)\n"
-      "  help      this text\n");
+      "  help      this text\n\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  runtime error (I/O failure, corrupted checkpoint)\n"
+      "  2  usage error (unknown command, bad or out-of-range flag)\n"
+      "  3  unrecoverable degradation (premium QoS guarantee broken)\n");
   return 0;
 }
 
@@ -309,6 +461,9 @@ int main(int argc, char** argv) {
     if (args.command().empty() || args.command() == "help") return cmd_help();
     std::fprintf(stderr, "unknown command '%s' (try: billcap help)\n",
                  args.command().c_str());
+    return 2;
+  } catch (const util::UsageError& e) {
+    std::fprintf(stderr, "usage error: %s (try: billcap help)\n", e.what());
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Local CI gate: the tier-1 suite first, then the robustness suite again
+# under AddressSanitizer + UBSan (fault paths, crash/resume and the
+# journal I/O are exactly the code most likely to hide lifetime or
+# conversion bugs that only a sanitizer sees).
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier 1: full suite, default toolchain =="
+cmake -B "$ROOT/$PREFIX" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/$PREFIX" -j "$JOBS"
+ctest --test-dir "$ROOT/$PREFIX" --output-on-failure -j "$JOBS"
+
+echo "== tier 2: robustness label under address,undefined sanitizers =="
+cmake -B "$ROOT/$PREFIX-asan" -S "$ROOT" \
+  -DBILLCAP_SANITIZE=address,undefined >/dev/null
+cmake --build "$ROOT/$PREFIX-asan" -j "$JOBS"
+ctest --test-dir "$ROOT/$PREFIX-asan" -L robustness --output-on-failure \
+  -j "$JOBS"
+
+echo "ci: all suites passed"
