@@ -23,6 +23,14 @@
 //     and resuming in-process at every planned crash. The recovered month
 //     must cost exactly what the uninterrupted month costs — crashes are
 //     free in outcome, paid only in restart latency.
+//
+//  4. Supervised kill-storms: the watchdog's full restart ladder (budget,
+//     exponential backoff, escalation to the premium-only standby) driven
+//     in-process through the real Supervisor with hooked-out process
+//     plumbing. Unlike experiment 3, exit storms make *zero* checkpoint
+//     progress, so persistent ones force escalation — and escalation is
+//     the one recovery mode that is NOT free: every standby-chunk hour
+//     sheds all ordinary traffic. The sweep prices that.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +38,8 @@
 #include "bench_common.hpp"
 #include "core/checkpoint.hpp"
 #include "core/simulator.hpp"
+#include "core/supervisor.hpp"
+#include "util/journal.hpp"
 
 int main() {
   using namespace billcap;
@@ -170,5 +180,116 @@ int main() {
   }
   crash_table.print(std::cout);
   bench::save_csv(crash_csv, "resilience_crash_recovery");
-  return backoff_strictly_better ? 0 : 1;
+
+  // ---- 4. Supervised kill-storms: what does escalation cost? -----------
+  //
+  // Each scenario plants exit storms (repeated deaths with no checkpoint
+  // progress) and runs the month under the real Supervisor; the hooks run
+  // the children in-process via run_resumable and synthesize their wait
+  // statuses. A drainable storm is survived by restarts alone (cost delta
+  // 0); a storm longer than the escalation threshold triggers a 4-hour
+  // premium-only standby chunk whose shed ordinary traffic is the price
+  // of staying alive.
+  bench::heading("Supervised kill-storms: restart ladder and escalation");
+  struct StormScenario {
+    const char* label;
+    std::vector<core::FaultPlan::ExitStorm> storms;
+  };
+  const StormScenario scenarios[] = {
+      {"none", {}},
+      {"2 deaths @h100", {{100, 2}}},
+      {"6 deaths @h100", {{100, 6}}},
+      {"6 @h100 + 6 @h300", {{100, 6}, {300, 6}}},
+  };
+  util::Table storm_table({"storm plan", "deaths", "restarts", "standby runs",
+                           "premium-only h", "backoff ms", "cost delta",
+                           "premium", "ordinary"});
+  util::Csv storm_csv({"scenario", "deaths", "restarts", "standby_runs",
+                       "premium_only_hours", "backoff_ms", "cost_delta",
+                       "premium_ratio", "ordinary_ratio"});
+  bool supervised_all_complete = true;
+  core::SimulationConfig storm_base;
+  storm_base.monthly_budget = 1.5e6;
+  const core::MonthlyResult reference =
+      core::Simulator(storm_base).run(core::Strategy::kCostCapping);
+  for (const StormScenario& scenario : scenarios) {
+    core::SimulationConfig config = storm_base;
+    config.fault_plan.exit_storms = scenario.storms;
+    const core::Simulator primary(config);
+    core::SimulationConfig standby_config = config;
+    standby_config.standby = true;
+    const core::Simulator standby(standby_config);
+
+    core::SupervisorOptions options;
+    options.escalate_after = 3;
+    options.standby_hours = 4;
+    const std::size_t keep_generations = 3;
+
+    // In-process "children": crashed -> signalled, stopped -> exit 4,
+    // done -> exit 0, in the waitpid encoding classify_wait_status reads.
+    double clock_s = 0.0;
+    double backoff_ms = 0.0;
+    core::SuperviseHooks hooks;
+    hooks.run = [&](const core::ChildSpec&, bool run_standby) {
+      core::Simulator::ResumeControls controls;
+      controls.keep_generations = keep_generations;
+      if (run_standby) controls.max_hours = options.standby_hours;
+      const core::Simulator::ResumableOutcome outcome =
+          (run_standby ? standby : primary)
+              .run_resumable(core::Strategy::kCostCapping, ck_path,
+                             /*resume=*/true, {}, controls);
+#if defined(__unix__) || defined(__APPLE__)
+      if (outcome.crashed) return 9;  // SIGKILL'd, straight from waitpid
+      return outcome.stopped ? core::kExitStopped << 8 : 0;
+#else
+      if (outcome.crashed) return 1;
+      return outcome.stopped ? core::kExitStopped : 0;
+#endif
+    };
+    hooks.now_s = [&] { return clock_s += 1.0; };
+    hooks.sleep_ms = [&](double ms) { backoff_ms += ms; };
+    hooks.log = [](const std::string&) {};
+    hooks.checkpoint_hour = [&] {
+      return core::probe_checkpoint_hour(ck_path, keep_generations);
+    };
+
+    for (std::size_t g = 0; g < keep_generations; ++g)
+      std::remove(
+          util::Journal::generation_path(ck_path, g).c_str());
+    core::Supervisor supervisor(options, {"in-process", {}},
+                                {"in-process", {"--standby"}}, ck_path,
+                                keep_generations, hooks);
+    const core::SuperviseReport report = supervisor.run();
+    const core::CheckpointState final_state = core::load_checkpoint(ck_path);
+    for (std::size_t g = 0; g < keep_generations; ++g)
+      std::remove(
+          util::Journal::generation_path(ck_path, g).c_str());
+
+    const core::MonthlyResult& r = final_state.partial;
+    supervised_all_complete &= report.exit_code == core::kExitSuccess &&
+                               r.hours.size() == reference.hours.size();
+    std::size_t premium_only_hours = 0;
+    for (const core::HourRecord& h : r.hours)
+      if (h.used_heuristic) ++premium_only_hours;
+    const double delta = r.total_cost - reference.total_cost;
+    storm_table.add_row(
+        {scenario.label, std::to_string(r.crash_recoveries),
+         std::to_string(report.restarts), std::to_string(report.standby_runs),
+         std::to_string(premium_only_hours), util::format_fixed(backoff_ms, 0),
+         util::format_fixed(delta, 2),
+         util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) + "%",
+         util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%"});
+    storm_csv.add_row(
+        {scenario.label, std::to_string(r.crash_recoveries),
+         std::to_string(report.restarts), std::to_string(report.standby_runs),
+         std::to_string(premium_only_hours), util::format_double(backoff_ms),
+         util::format_double(delta),
+         util::format_double(r.premium_throughput_ratio()),
+         util::format_double(r.ordinary_throughput_ratio())});
+  }
+  storm_table.print(std::cout);
+  bench::save_csv(storm_csv, "resilience_supervised_storms");
+  std::printf("[check] every supervised kill-storm month completed: %s\n",
+              supervised_all_complete ? "yes" : "NO");
+  return (backoff_strictly_better && supervised_all_complete) ? 0 : 1;
 }

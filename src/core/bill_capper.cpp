@@ -154,6 +154,22 @@ CappingOutcome BillCapper::decide(double lambda_premium,
         ordinary, std::max(0.0, allocation.total_lambda - out.served_premium));
   };
 
+  // Degraded standby: when the primary controller keeps dying, the
+  // supervisor runs this path instead — no MILP at all (the defect may
+  // live anywhere in the solve path), premium only, greedy placement.
+  // The QoS guarantee survives; ordinary revenue is the price of uptime.
+  if (overrides.standby) {
+    out.degraded = true;
+    out.used_heuristic = true;
+    out.mode = CappingOutcome::Mode::kPremiumOnly;
+    AllocationResult greedy = fallback_allocate(
+        models, FallbackRequest{premium, 0.0, lp::kInfinity});
+    out.served_premium = std::min(premium, greedy.total_lambda);
+    out.served_ordinary = 0.0;
+    out.allocation = std::move(greedy);
+    return out;
+  }
+
   // Step 1: cost minimization for the full (admitted) workload.
   // Degradation ladder: optimal -> limit-solve incumbent -> greedy.
   AllocationResult min_cost =
@@ -188,7 +204,11 @@ CappingOutcome BillCapper::decide(double lambda_premium,
   if (capped.usable() && capped.total_lambda >= premium - 1e-6) {
     if (!capped.ok()) {
       mark_degraded(capped.status);
+      // The rung flags describe the allocation actually served; a step-1
+      // fallback that was then discarded must not leave its flag behind
+      // (the rungs are exclusive per hour).
       out.used_incumbent = true;
+      out.used_heuristic = false;
     }
     out.mode = CappingOutcome::Mode::kCapped;
     out.served_premium = premium;
@@ -202,6 +222,7 @@ CappingOutcome BillCapper::decide(double lambda_premium,
     // unconditionally and ordinary only while the budget lasts.
     mark_degraded(capped.status);
     out.used_heuristic = true;
+    out.used_incumbent = false;
     AllocationResult greedy = fallback_allocate(
         models, FallbackRequest{premium, ordinary, solver_budget});
     out.mode = greedy.total_lambda > premium + 1e-6
@@ -220,10 +241,12 @@ CappingOutcome BillCapper::decide(double lambda_premium,
     mark_degraded(premium_only.status);
     if (premium_only.feasible) {
       out.used_incumbent = true;
+      out.used_heuristic = false;
     } else {
       premium_only = fallback_allocate(
           models, FallbackRequest{premium, 0.0, lp::kInfinity});
       out.used_heuristic = true;
+      out.used_incumbent = false;
     }
   }
   out.mode = CappingOutcome::Mode::kPremiumOnly;

@@ -68,6 +68,11 @@ struct DecideOptions {
   /// Wall-clock deadline for each MILP solve this hour; >= 0 overrides the
   /// configured MilpOptions::time_limit_ms, < 0 keeps it.
   double time_limit_ms = -1.0;
+  /// Degraded standby mode: skip the MILP entirely and serve only the
+  /// premium workload via the greedy fallback allocator (the supervisor's
+  /// escalation target when the primary keeps dying). The outcome is
+  /// tagged degraded + used_heuristic with mode kPremiumOnly.
+  bool standby = false;
 };
 
 /// The bill capper: per invocation period, first minimize cost for the full

@@ -186,6 +186,13 @@ std::uint64_t checkpoint_digest(const SimulationConfig& config,
     d.mix_size(c.hour);
     d.mix_bool(c.before_checkpoint);
   }
+  d.mix_size(plan.exit_storms.size());
+  for (const auto& s : plan.exit_storms) {
+    d.mix_size(s.hour);
+    d.mix_size(s.count);
+  }
+  d.mix_size(plan.checkpoint_corruptions.size());
+  for (const auto& c : plan.checkpoint_corruptions) d.mix_size(c.hour);
 
   d.mix_double(config.fault_rates.outage_rate);
   d.mix_size(config.fault_rates.outage_mean_hours);
@@ -221,6 +228,8 @@ void save_checkpoint(const std::string& path, const CheckpointState& state) {
   journal.set_size("next_hour", state.next_hour);
   journal.set_double_bits("spent", state.spent);
   journal.set_size("crashes_fired", state.crashes_fired);
+  journal.set_size("storms_fired", state.storms_fired);
+  journal.set_size("corruptions_fired", state.corruptions_fired);
   for (std::size_t i = 0; i < state.feed.rng.size(); ++i)
     journal.set_u64("feed_rng" + std::to_string(i), state.feed.rng[i]);
   journal.set_size("feed_recovered_until", state.feed.recovered_until);
@@ -267,6 +276,13 @@ CheckpointState load_checkpoint(const std::string& path) {
   state.next_hour = journal.get_size("next_hour");
   state.spent = journal.get_double_bits("spent");
   state.crashes_fired = journal.get_size("crashes_fired");
+  // Written since the rotated-generations format; absent in checkpoints
+  // from before that, which simply had no storms/corruptions to count.
+  state.storms_fired =
+      journal.has("storms_fired") ? journal.get_size("storms_fired") : 0;
+  state.corruptions_fired = journal.has("corruptions_fired")
+                                ? journal.get_size("corruptions_fired")
+                                : 0;
   for (std::size_t i = 0; i < state.feed.rng.size(); ++i)
     state.feed.rng[i] = journal.get_u64("feed_rng" + std::to_string(i));
   state.feed.recovered_until = journal.get_size("feed_recovered_until");
@@ -305,6 +321,54 @@ CheckpointState load_checkpoint(const std::string& path) {
   for (std::size_t i = 0; i < hours; ++i)
     r.hours.push_back(decode_hour(journal.get("h" + std::to_string(i))));
   return state;
+}
+
+void save_checkpoint_rotated(const std::string& path,
+                             const CheckpointState& state,
+                             std::size_t keep_generations) {
+  util::Journal::rotate_generations(path, keep_generations);
+  save_checkpoint(path, state);
+}
+
+bool any_checkpoint_generation_exists(const std::string& path,
+                                      std::size_t keep_generations) noexcept {
+  const std::size_t gens = keep_generations == 0 ? 1 : keep_generations;
+  for (std::size_t g = 0; g < gens; ++g)
+    if (checkpoint_exists(util::Journal::generation_path(path, g))) return true;
+  return false;
+}
+
+CheckpointLoadReport load_checkpoint_fallback(const std::string& path,
+                                              std::size_t keep_generations,
+                                              std::uint64_t expected_digest) {
+  CheckpointLoadReport report;
+  const std::size_t gens = keep_generations == 0 ? 1 : keep_generations;
+  for (std::size_t g = 0; g < gens; ++g) {
+    const std::string gen_path = util::Journal::generation_path(path, g);
+    if (!checkpoint_exists(gen_path)) {
+      report.skipped.push_back(gen_path + ": missing");
+      continue;
+    }
+    try {
+      CheckpointState state = load_checkpoint(gen_path);
+      if (state.config_digest != expected_digest) {
+        report.skipped.push_back(gen_path +
+                                 ": config digest mismatch (checkpoint from a "
+                                 "different configuration)");
+        continue;
+      }
+      report.state = std::move(state);
+      report.generation = g;
+      return report;
+    } catch (const std::exception& e) {
+      report.skipped.push_back(gen_path + ": " + e.what());
+    }
+  }
+  std::string detail;
+  for (const std::string& s : report.skipped) detail += "\n  " + s;
+  throw std::runtime_error(
+      "checkpoint: no viable generation among the newest " +
+      std::to_string(gens) + detail);
 }
 
 }  // namespace billcap::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/market_feed.hpp"
 #include "core/simulator.hpp"
@@ -23,6 +24,11 @@ struct CheckpointState {
   std::size_t next_hour = 0;      ///< first hour not yet committed
   double spent = 0.0;             ///< budget ledger: $ billed so far
   std::size_t crashes_fired = 0;  ///< FaultPlan::ControllerCrash cursor
+  std::size_t storms_fired = 0;   ///< FaultPlan::ExitStorm deaths consumed
+  /// FaultPlan::CheckpointCorruption cursor. Persisted into the fallback
+  /// generation *before* the corrupted one is written, so a resume that
+  /// falls back a generation does not re-fire the same corruption.
+  std::size_t corruptions_fired = 0;
   MarketFeed::State feed;         ///< retrying feed client's RNG + cursor
   MonthlyResult partial;          ///< committed hours + aggregates
 };
@@ -45,5 +51,38 @@ void save_checkpoint(const std::string& path, const CheckpointState& state);
 /// file is missing, truncated, corrupted (checksum mismatch), from an
 /// unsupported format version, or structurally inconsistent.
 CheckpointState load_checkpoint(const std::string& path);
+
+/// Like save_checkpoint, but first shifts the existing generation chain
+/// down one slot (`path` -> "<path>.1" -> ... -> "<path>.<K-1>", oldest
+/// dropped) so the last `keep_generations` checkpoints survive on disk.
+/// keep_generations <= 1 degenerates to plain save_checkpoint.
+void save_checkpoint_rotated(const std::string& path,
+                             const CheckpointState& state,
+                             std::size_t keep_generations);
+
+/// What load_checkpoint_fallback actually recovered, and what it had to
+/// step over to get there.
+struct CheckpointLoadReport {
+  CheckpointState state;
+  std::size_t generation = 0;  ///< 0 = newest; g came from "<path>.<g>"
+  /// One line per rejected newer generation: its path and why it was
+  /// unusable (missing, corrupted, digest mismatch...).
+  std::vector<std::string> skipped;
+};
+
+/// True if any generation of the rotated set exists at `path` (the newest
+/// or any of "<path>.1" ... "<path>.<K-1>").
+bool any_checkpoint_generation_exists(const std::string& path,
+                                      std::size_t keep_generations) noexcept;
+
+/// Scans generations newest-first and returns the first one that loads
+/// cleanly AND matches `expected_digest`; corrupted, truncated, missing or
+/// digest-mismatched generations are recorded in `skipped` and passed
+/// over. Each generation the scan falls back costs at most the hours
+/// between the two saves (one simulated hour for a per-hour checkpointer).
+/// Throws std::runtime_error when no viable generation exists.
+CheckpointLoadReport load_checkpoint_fallback(const std::string& path,
+                                              std::size_t keep_generations,
+                                              std::uint64_t expected_digest);
 
 }  // namespace billcap::core

@@ -56,16 +56,40 @@ struct FaultPlan {
     bool before_checkpoint = false;
   };
 
+  /// A repeated-death defect: the controller dies `count` times in a row at
+  /// `hour`, always *before* that hour's checkpoint commits, so each restart
+  /// makes zero forward progress. Consumed by Simulator::run_resumable; the
+  /// checkpoint records how many deaths have been consumed. This is the
+  /// scenario a supervisor's escalation logic exists for — a per-crash
+  /// restart never gets past the hour, only standby mode (which bypasses
+  /// the primary decide path where the defect lives) does.
+  struct ExitStorm {
+    std::size_t hour = 0;
+    std::size_t count = 0;
+  };
+
+  /// The newest checkpoint generation is corrupted (bit rot, torn device
+  /// write below the filesystem) right after hour `hour` commits, and the
+  /// controller dies. A resume must fall back to an older generation and
+  /// replay at most one hour. Fires once; the *fallback* generation carries
+  /// the advanced cursor so the replay cannot re-corrupt itself forever.
+  struct CheckpointCorruption {
+    std::size_t hour = 0;
+  };
+
   std::vector<SiteOutage> outages;
   std::vector<StaleInterval> stale_intervals;
   std::vector<DemandShock> demand_shocks;
   std::vector<DeadlineSqueeze> deadline_squeezes;
   std::vector<ControllerCrash> crashes;
+  std::vector<ExitStorm> exit_storms;
+  std::vector<CheckpointCorruption> checkpoint_corruptions;
 
   bool empty() const noexcept {
     return outages.empty() && stale_intervals.empty() &&
            demand_shocks.empty() && deadline_squeezes.empty() &&
-           crashes.empty();
+           crashes.empty() && exit_storms.empty() &&
+           checkpoint_corruptions.empty();
   }
 };
 

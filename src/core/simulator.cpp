@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <stdexcept>
 
 #include "core/baselines.hpp"
@@ -158,6 +159,10 @@ Simulator::Simulator(SimulationConfig config)
   if (!explicit_plan.deadline_squeezes.empty())
     plan_.deadline_squeezes = explicit_plan.deadline_squeezes;
   if (!explicit_plan.crashes.empty()) plan_.crashes = explicit_plan.crashes;
+  if (!explicit_plan.exit_storms.empty())
+    plan_.exit_storms = explicit_plan.exit_storms;
+  if (!explicit_plan.checkpoint_corruptions.empty())
+    plan_.checkpoint_corruptions = explicit_plan.checkpoint_corruptions;
   if (!plan_.empty())
     injector_ = FaultInjector(plan_, sites_.size(), evaluation_.hours());
 }
@@ -204,6 +209,7 @@ HourRecord Simulator::run_capping_hour(const BillCapper& capper,
     d[i] *= injector_.demand_multiplier(i, fault_hour);
 
   DecideOptions overrides;
+  overrides.standby = config_.standby;
   std::vector<std::uint8_t> available;
   std::vector<double> believed;
   std::size_t sites_down = 0;
@@ -437,21 +443,50 @@ MonthlyResult Simulator::run(Strategy strategy) const {
   return result;
 }
 
+namespace {
+
+/// Simulates bit rot in a checkpoint file (FaultPlan::CheckpointCorruption):
+/// stomps a span in the middle so the journal checksum fails on the next
+/// load and the resume must fall back a generation.
+void corrupt_file(const std::string& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return;
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  f.seekp(size / 2);
+  f << "<<bit-rot>>";
+}
+
+}  // namespace
+
 Simulator::ResumableOutcome Simulator::run_resumable(
     Strategy strategy, const std::string& checkpoint_path, bool resume,
     const std::function<void(const HourRecord&)>& on_hour) const {
+  return run_resumable(strategy, checkpoint_path, resume, on_hour,
+                       ResumeControls{});
+}
+
+Simulator::ResumableOutcome Simulator::run_resumable(
+    Strategy strategy, const std::string& checkpoint_path, bool resume,
+    const std::function<void(const HourRecord&)>& on_hour,
+    const ResumeControls& controls) const {
   if (checkpoint_path.empty())
     throw std::invalid_argument("run_resumable: checkpoint path required");
+  const std::size_t gens = std::max<std::size_t>(1, controls.keep_generations);
 
   const std::uint64_t digest = checkpoint_digest(config_, strategy);
+  ResumableOutcome out;
   CheckpointState st;
   bool loaded = false;
-  if (resume && checkpoint_exists(checkpoint_path)) {
-    st = load_checkpoint(checkpoint_path);
-    if (st.config_digest != digest)
-      throw std::runtime_error(
-          "run_resumable: checkpoint belongs to a different configuration "
-          "or strategy");
+  if (resume && any_checkpoint_generation_exists(checkpoint_path, gens)) {
+    // Newest-first generation scan: a corrupted or mismatched generation
+    // is skipped (at the cost of replaying the hours between two saves),
+    // and only a set with no viable generation at all throws.
+    CheckpointLoadReport report =
+        load_checkpoint_fallback(checkpoint_path, gens, digest);
+    st = std::move(report.state);
+    out.resumed_generation = report.generation;
+    out.resume_skipped = std::move(report.skipped);
     loaded = true;
   } else {
     st.config_digest = digest;
@@ -468,24 +503,85 @@ Simulator::ResumableOutcome Simulator::run_resumable(
     st.feed = feed.state();  // so a crash before the first commit persists
                              // the seeded stream, not a default-zero one
 
-  // Crash schedule, sorted by hour; `st.crashes_fired` is the cursor into
-  // it (entries already consumed by earlier attempts never re-fire).
+  // Fault schedules, sorted by hour; the checkpointed counters are cursors
+  // into them (entries consumed by earlier attempts never re-fire).
   std::vector<FaultPlan::ControllerCrash> crashes = plan_.crashes;
   std::sort(crashes.begin(), crashes.end(),
             [](const auto& a, const auto& b) { return a.hour < b.hour; });
+  std::vector<FaultPlan::ExitStorm> storms = plan_.exit_storms;
+  std::sort(storms.begin(), storms.end(),
+            [](const auto& a, const auto& b) { return a.hour < b.hour; });
+  std::vector<FaultPlan::CheckpointCorruption> corruptions =
+      plan_.checkpoint_corruptions;
+  std::sort(corruptions.begin(), corruptions.end(),
+            [](const auto& a, const auto& b) { return a.hour < b.hour; });
 
-  ResumableOutcome out;
+  // st.storms_fired counts *deaths* consumed across all storm entries;
+  // this maps it onto the entry the next death would belong to.
+  struct StormPos {
+    std::size_t index = 0;   ///< storms.size() = all storms drained
+    std::size_t within = 0;  ///< deaths already consumed from that entry
+  };
+  const auto storm_at = [&storms](std::size_t deaths) {
+    StormPos pos;
+    for (pos.index = 0; pos.index < storms.size(); ++pos.index) {
+      if (deaths < storms[pos.index].count) {
+        pos.within = deaths;
+        return pos;
+      }
+      deaths -= storms[pos.index].count;
+    }
+    return pos;
+  };
+
+  // Injected crashes and exit storms model defects in the primary decide
+  // path; the degraded standby bypasses that path, so they do not fire.
+  const bool standby = config_.standby;
+  const auto save = [&](const CheckpointState& s) {
+    save_checkpoint_rotated(checkpoint_path, s, gens);
+  };
+
   out.resumed_from = st.next_hour;
   out.recoveries = st.crashes_fired;
 
+  std::size_t committed_this_attempt = 0;
   st.partial.hours.reserve(evaluation_.hours());
   for (std::size_t hour = st.next_hour; hour < evaluation_.hours(); ++hour) {
-    const bool crash_now = st.crashes_fired < crashes.size() &&
+    if ((controls.stop_flag && *controls.stop_flag) ||
+        (controls.max_hours > 0 &&
+         committed_this_attempt >= controls.max_hours)) {
+      // Graceful stop between hours: the checkpoint already holds every
+      // committed hour, nothing to flush.
+      out.stopped = true;
+      out.result = std::move(st.partial);
+      return out;
+    }
+
+    const bool crash_now = !standby && st.crashes_fired < crashes.size() &&
                            crashes[st.crashes_fired].hour == hour;
     const bool crash_before_checkpoint =
         crash_now && crashes[st.crashes_fired].before_checkpoint;
+    const bool storm_now = !standby &&
+                           storm_at(st.storms_fired).index < storms.size() &&
+                           storms[storm_at(st.storms_fired).index].hour == hour;
+    const bool corrupt_now =
+        st.corruptions_fired < corruptions.size() &&
+        corruptions[st.corruptions_fired].hour == hour;
 
     HourRecord rec = run_one_hour(strategy, capper, feed, hour, st.spent);
+
+    if (storm_now) {
+      // One exit-storm death: the process dies before this hour's
+      // checkpoint commits, so the attempt made zero forward progress.
+      // Only the consumed-death counter is re-persisted (on top of the
+      // previous consistent state) so the storm eventually drains.
+      ++st.storms_fired;
+      save(st);
+      out.crashed = true;
+      out.crash_hour = hour;
+      out.result = std::move(st.partial);
+      return out;
+    }
 
     if (crash_before_checkpoint) {
       // The process dies after computing the hour but before the hour's
@@ -493,21 +589,58 @@ Simulator::ResumableOutcome Simulator::run_resumable(
       // Only the crash cursor is advanced — re-persisted on top of the
       // previous consistent state so the same entry cannot fire again.
       ++st.crashes_fired;
-      CheckpointState as_of_last_commit = st;
-      save_checkpoint(checkpoint_path, as_of_last_commit);
+      save(st);
       out.crashed = true;
       out.crash_hour = hour;
       out.result = std::move(st.partial);
       return out;
     }
 
+    if (corrupt_now) {
+      // Storage fault at this hour's commit: the newest generation will
+      // be stomped right after it is written. First re-persist the
+      // *previous* committed state carrying the advanced corruption
+      // cursor — it becomes the fallback generation, and without the
+      // cursor the resume would replay this hour and re-corrupt itself
+      // forever.
+      ++st.corruptions_fired;
+      save(st);
+    }
+
     st.spent += rec.cost;
     st.next_hour = hour + 1;
     st.feed = feed.state();
     if (crash_now) ++st.crashes_fired;
+    // Cursor snapping: a standby attempt walks past crash/storm hours
+    // without consuming them; advance the cursors past everything at or
+    // before the committed hour so a later primary attempt does not jam
+    // on (or replay) entries for hours that already happened.
+    while (st.crashes_fired < crashes.size() &&
+           crashes[st.crashes_fired].hour < st.next_hour)
+      ++st.crashes_fired;
+    for (StormPos pos = storm_at(st.storms_fired);
+         pos.index < storms.size() && storms[pos.index].hour < st.next_hour;
+         pos = storm_at(st.storms_fired))
+      st.storms_fired += storms[pos.index].count - pos.within;
+    while (st.corruptions_fired < corruptions.size() &&
+           corruptions[st.corruptions_fired].hour < st.next_hour)
+      ++st.corruptions_fired;
+    // Kept current on every commit so the persisted checkpoint (what the
+    // supervisor and post-mortems read) carries the recovery count too.
+    st.partial.crash_recoveries = st.crashes_fired + st.storms_fired;
+
     accumulate(st.partial, std::move(rec));
-    save_checkpoint(checkpoint_path, st);
+    save(st);
+    ++committed_this_attempt;
     if (on_hour) on_hour(st.partial.hours.back());
+
+    if (corrupt_now) {
+      corrupt_file(checkpoint_path);
+      out.crashed = true;
+      out.crash_hour = hour;
+      out.result = std::move(st.partial);
+      return out;
+    }
 
     if (crash_now) {
       // Dies right after the commit: the hour survives, the resume picks
@@ -519,7 +652,7 @@ Simulator::ResumableOutcome Simulator::run_resumable(
     }
   }
 
-  st.partial.crash_recoveries = st.crashes_fired;
+  st.partial.crash_recoveries = st.crashes_fired + st.storms_fired;
   out.recoveries = st.crashes_fired;
   out.result = std::move(st.partial);
   return out;

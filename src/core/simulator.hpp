@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -59,6 +60,14 @@ struct SimulationConfig {
   /// retry_success_prob a stale feed is re-polled with exponential backoff
   /// each hour and can recover mid-interval. Default = frozen feed.
   MarketFeedOptions market_feed;
+
+  /// Degraded standby mode (the supervisor's escalation target): every
+  /// hour is decided by the greedy premium-only fallback instead of the
+  /// MILP, and injected controller crashes / exit storms do not fire (they
+  /// model defects in the primary decide path this mode bypasses).
+  /// Deliberately EXCLUDED from the checkpoint digest so a standby attempt
+  /// can pick up the primary's checkpoint and vice versa.
+  bool standby = false;
 };
 
 /// The strategies compared in the evaluation.
@@ -183,17 +192,48 @@ class Simulator {
   /// the month continues from its next hour; a missing file starts fresh.
   struct ResumableOutcome {
     MonthlyResult result;           ///< partial when crashed, else complete
-    bool crashed = false;           ///< a FaultPlan::ControllerCrash fired
+    bool crashed = false;           ///< a crash or exit-storm death fired
     std::size_t crash_hour = 0;     ///< the hour the crash struck
     std::size_t resumed_from = 0;   ///< first hour computed this attempt
     std::size_t recoveries = 0;     ///< crash entries survived so far
+    /// Graceful stop: a stop flag / max_hours limit ended the attempt with
+    /// the month unfinished but the checkpoint consistent. Never combined
+    /// with `crashed`.
+    bool stopped = false;
+    /// Which checkpoint generation the resume actually loaded (0 = the
+    /// newest), and one line per newer generation it had to skip
+    /// (corrupted / missing / digest mismatch). Empty skip list and
+    /// generation 0 for a clean resume or a fresh start.
+    std::size_t resumed_generation = 0;
+    std::vector<std::string> resume_skipped;
   };
+
+  /// Knobs for one resumable attempt (all defaults preserve the previous
+  /// single-generation, run-to-completion behaviour).
+  struct ResumeControls {
+    /// Checkpoint generations kept on disk (>= 1). With K > 1 every
+    /// per-hour save rotates the chain and a resume falls back
+    /// generation-by-generation past corrupted or mismatched files.
+    std::size_t keep_generations = 1;
+    /// Stop gracefully after committing this many hours this attempt
+    /// (0 = no limit). The supervisor uses this to bound standby attempts.
+    std::size_t max_hours = 0;
+    /// Checked between hours: when it goes true the attempt finishes the
+    /// in-flight hour, commits its checkpoint and returns stopped=true.
+    /// The CLI points this at its SIGTERM/SIGINT flag.
+    const volatile std::sig_atomic_t* stop_flag = nullptr;
+  };
+
   /// `on_hour` (optional) fires after each hour's checkpoint commits —
   /// the hook for streaming per-hour CSV output that stays hour-aligned
   /// with the checkpoint.
   ResumableOutcome run_resumable(
       Strategy strategy, const std::string& checkpoint_path, bool resume,
       const std::function<void(const HourRecord&)>& on_hour = {}) const;
+  ResumableOutcome run_resumable(
+      Strategy strategy, const std::string& checkpoint_path, bool resume,
+      const std::function<void(const HourRecord&)>& on_hour,
+      const ResumeControls& controls) const;
 
   /// Runs `months` consecutive budgeting periods (Section IX's "ongoing
   /// operation" view): every month receives a fresh monthly budget, and

@@ -109,7 +109,10 @@ void Csv::save(const std::string& path) const {
   if (!out) throw std::runtime_error("Csv::save: write failed: " + path);
 }
 
-Csv Csv::parse(std::string_view text) {
+namespace {
+
+/// Splits CSV text into records of cells (quote-aware); no width checks.
+std::vector<std::vector<std::string>> collect_records(std::string_view text) {
   std::vector<std::vector<std::string>> records;
   std::vector<std::string> record;
   std::string cell;
@@ -164,11 +167,38 @@ Csv Csv::parse(std::string_view text) {
     }
   }
   end_record();
+  return records;
+}
 
+}  // namespace
+
+Csv Csv::parse(std::string_view text) {
+  auto records = collect_records(text);
   if (records.empty()) throw std::runtime_error("Csv::parse: empty document");
   Csv doc(std::move(records.front()));
   for (std::size_t r = 1; r < records.size(); ++r)
     doc.add_row(std::move(records[r]));
+  return doc;
+}
+
+Csv Csv::parse_resilient(std::string_view text) {
+  // An unterminated final line is a row the writer never finished: the
+  // newline is the last byte of every committed row, so anything after the
+  // last '\n' is torn and cannot be trusted (its last cell may be a
+  // truncated prefix that still parses).
+  if (!text.empty() && text.back() != '\n') {
+    const std::size_t nl = text.find_last_of('\n');
+    text = nl == std::string_view::npos ? std::string_view{}
+                                        : text.substr(0, nl + 1);
+  }
+  auto records = collect_records(text);
+  if (records.empty()) throw std::runtime_error("Csv::parse: empty document");
+  Csv doc(std::move(records.front()));
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (r + 1 == records.size() && records[r].size() != doc.num_cols())
+      break;  // torn final row (partial OS write that still got a newline)
+    doc.add_row(std::move(records[r]));
+  }
   return doc;
 }
 
@@ -195,7 +225,18 @@ CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header,
   }
   probe.close();
 
-  const Csv existing = Csv::load(path_);
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) throw std::runtime_error("CsvWriter: cannot open " + path_);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  // A kill mid-append leaves a torn last row; it was never
+  // checkpoint-committed, so dropping it is exactly the dedup the resume
+  // performs anyway.
+  const Csv existing = Csv::parse_resilient(text);
   if (existing.header() != header_)
     throw std::runtime_error("CsvWriter: header of " + path_ +
                              " does not match (stale file from a different "

@@ -49,6 +49,12 @@ class Csv {
   /// Parses CSV text (first row is the header). Handles quoted cells.
   static Csv parse(std::string_view text);
 
+  /// Parses like parse(), but tolerates the shape a SIGKILL mid-append
+  /// leaves behind: a torn *final* record — an unterminated last line, or
+  /// a trailing row with fewer cells than the header — is dropped instead
+  /// of throwing. Malformed rows anywhere else still throw.
+  static Csv parse_resilient(std::string_view text);
+
   /// Loads and parses a file; throws std::runtime_error on I/O failure.
   static Csv load(const std::string& path);
 
@@ -71,9 +77,10 @@ class CsvWriter {
 
   /// Resumes an existing file: parses it, verifies the header matches,
   /// keeps the first `keep_rows` data rows (dropping any beyond — rows a
-  /// checkpoint never committed), and appends after them. If the file does
-  /// not exist it is created fresh. Throws std::runtime_error on a header
-  /// mismatch or unparseable file.
+  /// checkpoint never committed), and appends after them. A torn final
+  /// row (the writer was killed mid-append) is dropped, not an error. If
+  /// the file does not exist it is created fresh. Throws
+  /// std::runtime_error on a header mismatch or unparseable file.
   CsvWriter(const std::string& path, std::vector<std::string> header,
             std::size_t keep_rows);
 

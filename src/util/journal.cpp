@@ -1,11 +1,17 @@
 #include "util/journal.hpp"
 
 #include <bit>
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace billcap::util {
 
@@ -195,16 +201,72 @@ Journal Journal::parse(std::string_view text, std::string_view expected_magic,
 
 void Journal::save_atomic(const std::string& path) const {
   const std::string tmp = path + ".tmp";
+  const std::string text = serialize();
+#if defined(__unix__) || defined(__APPLE__)
+  // POSIX path: fsync the data before the rename and the directory after
+  // it. Without the directory fsync the rename lives only in the page
+  // cache — a power cut could resurrect the *old* journal (process-death
+  // durability but not power-loss durability).
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("Journal: cannot open " + tmp);
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("Journal: write failed: " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("Journal: fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0)
+    throw std::runtime_error("Journal: close failed: " + tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("Journal: rename " + tmp + " -> " + path +
+                             " failed");
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    // Some filesystems refuse fsync on a directory handle (EINVAL); that
+    // is a property of the mount, not an I/O error worth aborting for.
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#else
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("Journal: cannot open " + tmp);
-    out << serialize();
+    out << text;
     out.flush();
     if (!out) throw std::runtime_error("Journal: write failed: " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     throw std::runtime_error("Journal: rename " + tmp + " -> " + path +
                              " failed");
+#endif
+}
+
+std::string Journal::generation_path(const std::string& path,
+                                     std::size_t generation) {
+  return generation == 0 ? path : path + "." + std::to_string(generation);
+}
+
+void Journal::rotate_generations(const std::string& path,
+                                 std::size_t keep_generations) {
+  for (std::size_t g = keep_generations; g-- > 1;) {
+    // A failed rename (usually ENOENT: that generation does not exist yet)
+    // leaves the older generation in place; the fallback scan on load
+    // copes with gaps and duplicates.
+    std::rename(generation_path(path, g - 1).c_str(),
+                generation_path(path, g).c_str());
+  }
 }
 
 Journal Journal::load(const std::string& path, std::string_view expected_magic,

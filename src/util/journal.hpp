@@ -61,9 +61,26 @@ class Journal {
   static Journal parse(std::string_view text, std::string_view expected_magic,
                        int max_version);
 
-  /// Durable write: serialize to "<path>.tmp", flush, rename over `path`.
-  /// Throws std::runtime_error on I/O failure.
+  /// Durable write: serialize to "<path>.tmp", fsync the file, rename over
+  /// `path`, then fsync the containing directory so the rename itself
+  /// survives power loss (not just process death). Throws
+  /// std::runtime_error on I/O failure.
   void save_atomic(const std::string& path) const;
+
+  /// Path of generation `g` of a rotated journal set: generation 0 is
+  /// `path` itself (the newest), older generations are "<path>.1",
+  /// "<path>.2", ... up to "<path>.<K-1>".
+  static std::string generation_path(const std::string& path,
+                                     std::size_t generation);
+
+  /// Shifts the existing generations down one slot via renames
+  /// ("<path>.<K-2>" -> "<path>.<K-1>", ..., "<path>" -> "<path>.1"; the
+  /// oldest is dropped), making room for a fresh save_atomic(path) on top.
+  /// Each rename is atomic, so a kill mid-rotation leaves every surviving
+  /// generation intact (at worst one is duplicated, never torn). Missing
+  /// generations are skipped; keep_generations <= 1 is a no-op.
+  static void rotate_generations(const std::string& path,
+                                 std::size_t keep_generations);
 
   /// Loads and verifies a journal file; throws std::runtime_error on I/O
   /// or verification failure.

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/simulator.hpp"
+#include "util/journal.hpp"
 
 namespace billcap::core {
 namespace {
@@ -223,6 +224,147 @@ TEST(CheckpointTest, DigestSeparatesConfigsAndStrategies) {
   other = config;
   other.market_feed.retry_success_prob = 0.5;
   EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+}
+
+/// Appends one committed hour to `st`, mimicking the simulator's per-hour
+/// commit, so successive rotated saves hold distinguishable states.
+void commit_one_hour(CheckpointState& st) {
+  HourRecord rec;
+  rec.hour = st.next_hour++;
+  rec.cost = 100.0 + static_cast<double>(rec.hour);
+  st.spent += rec.cost;
+  st.partial.hours.push_back(rec);
+}
+
+void remove_generations(const std::string& path, std::size_t gens) {
+  for (std::size_t g = 0; g < gens; ++g)
+    std::remove(util::Journal::generation_path(path, g).c_str());
+}
+
+TEST(CheckpointTest, RotatedSaveKeepsExactlyKGenerations) {
+  const std::string path = temp_path("billcap_checkpoint_rotate.j");
+  remove_generations(path, 6);
+  CheckpointState st = sample_state();
+  for (int saves = 0; saves < 5; ++saves) {
+    save_checkpoint_rotated(path, st, 3);
+    commit_one_hour(st);
+  }
+  // Five saves through a K=3 chain: generations 0..2 hold the three
+  // newest states, nothing older survives.
+  EXPECT_TRUE(any_checkpoint_generation_exists(path, 3));
+  const std::size_t newest = st.next_hour - 1;  // last saved next_hour
+  for (std::size_t g = 0; g < 3; ++g) {
+    const CheckpointState back =
+        load_checkpoint(util::Journal::generation_path(path, g));
+    EXPECT_EQ(back.next_hour, newest - g) << "generation " << g;
+  }
+  EXPECT_FALSE(
+      std::filesystem::exists(util::Journal::generation_path(path, 3)));
+  remove_generations(path, 6);
+}
+
+TEST(CheckpointTest, FallbackSkipsCorruptedNewestGeneration) {
+  const std::string path = temp_path("billcap_checkpoint_fallback.j");
+  remove_generations(path, 3);
+  CheckpointState st = sample_state();
+  save_checkpoint_rotated(path, st, 3);
+  commit_one_hour(st);
+  save_checkpoint_rotated(path, st, 3);
+
+  // Pristine chain: the newest generation wins, nothing is skipped.
+  CheckpointLoadReport report =
+      load_checkpoint_fallback(path, 3, st.config_digest);
+  EXPECT_EQ(report.generation, 0u);
+  EXPECT_TRUE(report.skipped.empty());
+  expect_states_bitwise_equal(st, report.state);
+
+  // Bit rot in the newest file: the scan falls back one generation and
+  // reports what it stepped over.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "<<bit-rot>>";
+  }
+  report = load_checkpoint_fallback(path, 3, st.config_digest);
+  EXPECT_EQ(report.generation, 1u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].find(path), std::string::npos);
+  EXPECT_EQ(report.state.next_hour, st.next_hour - 1);
+  remove_generations(path, 3);
+}
+
+TEST(CheckpointTest, FallbackSkipsDigestMismatchedGeneration) {
+  const std::string path = temp_path("billcap_checkpoint_digestfb.j");
+  remove_generations(path, 2);
+  CheckpointState st = sample_state();
+  save_checkpoint_rotated(path, st, 2);
+  CheckpointState foreign = st;
+  commit_one_hour(foreign);
+  foreign.config_digest ^= 1;  // someone else's month landed on top
+  save_checkpoint_rotated(path, foreign, 2);
+
+  const CheckpointLoadReport report =
+      load_checkpoint_fallback(path, 2, st.config_digest);
+  EXPECT_EQ(report.generation, 1u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].find("digest"), std::string::npos);
+  expect_states_bitwise_equal(st, report.state);
+  remove_generations(path, 2);
+}
+
+TEST(CheckpointTest, FallbackThrowsWhenNoGenerationIsViable) {
+  const std::string path = temp_path("billcap_checkpoint_allbad.j");
+  remove_generations(path, 3);
+  EXPECT_FALSE(any_checkpoint_generation_exists(path, 3));
+  EXPECT_THROW(load_checkpoint_fallback(path, 3, 0), std::runtime_error);
+
+  // Present but all corrupted is just as dead — and the error must name
+  // every generation it tried.
+  const CheckpointState st = sample_state();
+  save_checkpoint_rotated(path, st, 2);
+  save_checkpoint_rotated(path, st, 2);
+  for (std::size_t g = 0; g < 2; ++g) {
+    std::ofstream out(util::Journal::generation_path(path, g),
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  try {
+    load_checkpoint_fallback(path, 2, st.config_digest);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  remove_generations(path, 3);
+}
+
+TEST(CheckpointTest, FaultCursorsSurviveTheRoundTrip) {
+  const std::string path = temp_path("billcap_checkpoint_cursors.j");
+  CheckpointState st = sample_state();
+  st.storms_fired = 4;
+  st.corruptions_fired = 2;
+  save_checkpoint(path, st);
+  const CheckpointState back = load_checkpoint(path);
+  EXPECT_EQ(back.storms_fired, 4u);
+  EXPECT_EQ(back.corruptions_fired, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, DigestSeparatesStormAndCorruptionPlans) {
+  SimulationConfig config;
+  const std::uint64_t base = checkpoint_digest(config, Strategy::kCostCapping);
+
+  SimulationConfig other = config;
+  other.fault_plan.exit_storms.push_back({5, 3});
+  EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+
+  other = config;
+  other.fault_plan.checkpoint_corruptions.push_back({9});
+  EXPECT_NE(base, checkpoint_digest(other, Strategy::kCostCapping));
+
+  // Standby mode is deliberately digest-neutral: the degraded standby
+  // must be able to adopt the primary's checkpoint and hand it back.
+  other = config;
+  other.standby = true;
+  EXPECT_EQ(base, checkpoint_digest(other, Strategy::kCostCapping));
 }
 
 TEST(CheckpointTest, HourCountInconsistencyIsRejected) {

@@ -168,6 +168,191 @@ TEST(CrashResumeTest, CrashReportsHourAndResumePoint) {
   std::remove(path.c_str());
 }
 
+/// Like run_to_completion, but with explicit ResumeControls on every
+/// attempt (rotated generations, standby chunking...).
+MonthlyResult run_to_completion_controlled(
+    const Simulator& sim, Strategy strategy, const std::string& path,
+    const Simulator::ResumeControls& controls, std::size_t* restarts,
+    bool fresh_start = true) {
+  if (fresh_start) {
+    for (std::size_t g = 0; g < controls.keep_generations; ++g)
+      std::remove((path + (g ? "." + std::to_string(g) : "")).c_str());
+  }
+  Simulator::ResumableOutcome outcome =
+      sim.run_resumable(strategy, path, !fresh_start, {}, controls);
+  std::size_t n = 0;
+  while (outcome.crashed) {
+    ++n;
+    outcome = sim.run_resumable(strategy, path, /*resume=*/true, {}, controls);
+  }
+  if (restarts) *restarts = n;
+  EXPECT_FALSE(outcome.stopped);
+  return outcome.result;
+}
+
+TEST(CrashResumeTest, ExitStormDiesRepeatedlyWithoutProgressThenDrains) {
+  SimulationConfig config = faulty_config();
+  const MonthlyResult want = Simulator(config).run(Strategy::kCostCapping);
+  config.fault_plan.exit_storms.push_back({5, 3});
+  const Simulator sim(config);
+  const std::string path = temp_path("billcap_resume_storm.j");
+  std::remove(path.c_str());
+
+  // Every storm death strikes before hour 5's checkpoint commits: three
+  // attempts in a row die at hour 5 with the checkpoint pinned there.
+  Simulator::ResumableOutcome outcome =
+      sim.run_resumable(Strategy::kCostCapping, path, false);
+  for (std::size_t death = 1; death <= 3; ++death) {
+    ASSERT_TRUE(outcome.crashed) << "death " << death;
+    EXPECT_EQ(outcome.crash_hour, 5u);
+    EXPECT_EQ(load_checkpoint(path).next_hour, 5u);
+    EXPECT_EQ(load_checkpoint(path).storms_fired, death);
+    outcome = sim.run_resumable(Strategy::kCostCapping, path, true);
+  }
+  // The storm is drained; the fourth attempt finishes the month and the
+  // result is still bit-identical to the uninterrupted run.
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_EQ(outcome.result.crash_recoveries, 3u);
+  expect_results_bitwise_equal(want, outcome.result);
+  std::remove(path.c_str());
+}
+
+TEST(CrashResumeTest, CheckpointCorruptionFallsBackOneGeneration) {
+  SimulationConfig config = faulty_config();
+  const MonthlyResult want = Simulator(config).run(Strategy::kCostCapping);
+  config.fault_plan.checkpoint_corruptions.push_back({10});
+  const Simulator sim(config);
+  const std::string path = temp_path("billcap_resume_bitrot.j");
+  Simulator::ResumeControls controls;
+  controls.keep_generations = 3;
+  for (std::size_t g = 0; g < 3; ++g)
+    std::remove((path + (g ? "." + std::to_string(g) : "")).c_str());
+
+  // The first attempt commits hour 10, stomps the newest generation and
+  // dies: generation 0 is unreadable, generation 1 holds the pre-hour-10
+  // state with the corruption cursor already advanced.
+  Simulator::ResumableOutcome outcome =
+      sim.run_resumable(Strategy::kCostCapping, path, false, {}, controls);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.crash_hour, 10u);
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+
+  // The resume falls back exactly one generation (one replayed hour) and
+  // completes the month bit-identically; the fallback's cursor stops the
+  // same corruption from re-firing forever.
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true, {}, controls);
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_EQ(outcome.resumed_generation, 1u);
+  ASSERT_EQ(outcome.resume_skipped.size(), 1u);
+  EXPECT_EQ(outcome.resumed_from, 10u);
+  expect_results_bitwise_equal(want, outcome.result);
+  for (std::size_t g = 0; g < 3; ++g)
+    std::remove((path + (g ? "." + std::to_string(g) : "")).c_str());
+}
+
+TEST(CrashResumeTest, KillStormWithRotationAndBitRotStillBitIdentical) {
+  // The belt-and-braces month: a crash at EVERY hour, plus storage bit
+  // rot at three of them, under a three-generation checkpoint chain. The
+  // month must still complete bit-identically to the uninterrupted run.
+  SimulationConfig config = faulty_config();
+  const MonthlyResult want = Simulator(config).run(Strategy::kCostCapping);
+  const std::size_t month_hours = want.hours.size();
+  for (std::size_t h = 0; h < month_hours; ++h)
+    config.fault_plan.crashes.push_back({h, /*before_checkpoint=*/h % 2 == 0});
+  config.fault_plan.checkpoint_corruptions.push_back({50});
+  config.fault_plan.checkpoint_corruptions.push_back({52});
+  config.fault_plan.checkpoint_corruptions.push_back({300});
+  const Simulator sim(config);
+
+  Simulator::ResumeControls controls;
+  controls.keep_generations = 3;
+  std::size_t restarts = 0;
+  const MonthlyResult got = run_to_completion_controlled(
+      sim, Strategy::kCostCapping,
+      temp_path("billcap_resume_storm_rot.j"), controls, &restarts);
+  EXPECT_EQ(restarts, month_hours + 3);  // every crash + every corruption
+  expect_results_bitwise_equal(want, got);
+}
+
+TEST(CrashResumeTest, StopFlagFinishesInFlightHourAndResumesCleanly) {
+  SimulationConfig config = faulty_config();
+  const MonthlyResult want = Simulator(config).run(Strategy::kCostCapping);
+  const Simulator sim(config);
+  const std::string path = temp_path("billcap_resume_stop.j");
+  std::remove(path.c_str());
+
+  // The flag flips while hour 5 is in flight (from the post-commit hook,
+  // like the CLI's SIGTERM handler): the attempt must commit hour 5,
+  // then stop at the loop top with a consistent checkpoint.
+  static volatile std::sig_atomic_t stop = 0;
+  stop = 0;
+  Simulator::ResumeControls controls;
+  controls.stop_flag = &stop;
+  Simulator::ResumableOutcome outcome = sim.run_resumable(
+      Strategy::kCostCapping, path, false,
+      [&](const HourRecord& rec) {
+        if (rec.hour == 5) stop = 1;
+      },
+      controls);
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_EQ(outcome.result.hours.size(), 6u);
+  EXPECT_EQ(load_checkpoint(path).next_hour, 6u);
+
+  // Resuming without the flag finishes the month bit-identically.
+  stop = 0;
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true, {},
+                              Simulator::ResumeControls{});
+  EXPECT_FALSE(outcome.stopped);
+  EXPECT_FALSE(outcome.crashed);
+  expect_results_bitwise_equal(want, outcome.result);
+  std::remove(path.c_str());
+}
+
+TEST(CrashResumeTest, StandbyChunkIsPremiumOnlyAndHandsBackToPrimary) {
+  // The supervisor's escalation path, in-process: the primary jams on an
+  // exit storm at hour 3, a standby attempt (same config + standby flag)
+  // commits a 2-hour premium-only chunk past the poisoned hour, and the
+  // primary then finishes the month from the standby's checkpoint.
+  SimulationConfig config = faulty_config();
+  config.fault_plan.exit_storms.push_back({3, 99});  // would never drain
+  const Simulator primary(config);
+  SimulationConfig standby_config = config;
+  standby_config.standby = true;
+  const Simulator standby(standby_config);
+  const std::string path = temp_path("billcap_resume_standby.j");
+  std::remove(path.c_str());
+
+  Simulator::ResumableOutcome outcome =
+      primary.run_resumable(Strategy::kCostCapping, path, false);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.crash_hour, 3u);
+
+  // The standby adopts the primary's checkpoint (standby mode is digest
+  // neutral), walks hours 3-4 with the greedy fallback, and stops.
+  Simulator::ResumeControls chunk;
+  chunk.max_hours = 2;
+  outcome =
+      standby.run_resumable(Strategy::kCostCapping, path, true, {}, chunk);
+  EXPECT_TRUE(outcome.stopped);
+  ASSERT_EQ(outcome.result.hours.size(), 5u);
+  for (std::size_t h = 3; h <= 4; ++h) {
+    const HourRecord& rec = outcome.result.hours[h];
+    EXPECT_TRUE(rec.used_heuristic) << "hour " << h;
+    EXPECT_TRUE(rec.degraded) << "hour " << h;
+    EXPECT_EQ(rec.served_ordinary, 0.0) << "hour " << h;
+    EXPECT_GT(rec.served_premium, 0.0) << "hour " << h;
+  }
+
+  // The primary resumes past the snapped storm and completes; the whole
+  // 99-death storm was charged to the recovery counter by the snap.
+  outcome = primary.run_resumable(Strategy::kCostCapping, path, true);
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_EQ(outcome.result.hours.size(), primary.evaluation_trace().hours());
+  EXPECT_EQ(outcome.result.crash_recoveries, 99u);
+  std::remove(path.c_str());
+}
+
 TEST(CrashResumeTest, ResumeUnderDifferentConfigIsRefused) {
   SimulationConfig config = faulty_config();
   config.fault_plan.crashes.push_back({5, false});

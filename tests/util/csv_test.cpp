@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace billcap::util {
@@ -143,6 +144,78 @@ TEST(CsvWriterTest, ResumeOfMissingFileStartsFresh) {
   EXPECT_EQ(writer.num_rows(), 0u);
   writer.add_row({"1"});
   EXPECT_EQ(Csv::load(path).num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParseResilientDropsTornFinalRecordOnly) {
+  // A SIGKILL mid-append leaves an unterminated final line...
+  Csv doc = Csv::parse_resilient("hour,cost\n0,1.5\n1,2.5\n2,3.");
+  ASSERT_EQ(doc.num_rows(), 2u);
+  EXPECT_EQ(doc.cell(1, 1), "2.5");
+
+  // ...or a terminated final row with too few cells. Both are dropped.
+  doc = Csv::parse_resilient("hour,cost\n0,1.5\n1\n");
+  ASSERT_EQ(doc.num_rows(), 1u);
+
+  // An intact document parses identically to parse().
+  doc = Csv::parse_resilient("hour,cost\n0,1.5\n1,2.5\n");
+  EXPECT_EQ(doc.num_rows(), 2u);
+
+  // A torn row anywhere but the tail is real corruption, not a crash
+  // artifact: still an error.
+  EXPECT_THROW(Csv::parse_resilient("hour,cost\n0\n1,2.5\n"),
+               std::invalid_argument);
+  // Strict parse() keeps rejecting the torn tail.
+  EXPECT_THROW(Csv::parse("hour,cost\n0,1.5\n1\n"), std::invalid_argument);
+}
+
+TEST(CsvTest, ParseResilientTornQuotedCell) {
+  // The kill landed inside a quoted cell: the unterminated quote swallows
+  // the rest of the text, making the last record torn — dropped.
+  const Csv doc = Csv::parse_resilient("hour,note\n0,\"ok\"\n1,\"half");
+  ASSERT_EQ(doc.num_rows(), 1u);
+  EXPECT_EQ(doc.cell(0, 1), "ok");
+}
+
+TEST(CsvWriterTest, ResumeAfterTornLastRowDropsItAndContinues) {
+  const std::string path = writer_path("billcap_csv_writer_torn.csv");
+  {
+    CsvWriter writer(path, {"hour", "cost"});
+    for (int h = 0; h < 3; ++h) writer.add_row({std::to_string(h), "1"});
+  }
+  // Simulate a kill mid-append: a torn, unterminated fourth row.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "3,9";  // no newline — the flush never completed
+  }
+  // Resume keeping all 3 committed rows: the torn tail must not count as
+  // a row, corrupt the parse, or survive on disk after the next append.
+  CsvWriter resumed(path, {"hour", "cost"}, 3);
+  EXPECT_EQ(resumed.num_rows(), 3u);
+  resumed.add_row({"3", "2"});
+  const Csv seen = Csv::load(path);
+  ASSERT_EQ(seen.num_rows(), 4u);
+  EXPECT_EQ(seen.cell(3, 0), "3");
+  EXPECT_EQ(seen.cell_as_double(3, 1), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ResumeAfterTornRowBelowKeepCountReplaysFromCheckpoint) {
+  const std::string path = writer_path("billcap_csv_writer_torn_short.csv");
+  {
+    CsvWriter writer(path, {"hour", "cost"});
+    writer.add_row({"0", "1"});
+    writer.add_row({"1", "1"});
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "2,1";  // torn: hour 2 never committed its checkpoint
+  }
+  // The checkpoint says 3 rows were committed, but only 2 survived whole:
+  // the writer keeps what is actually intact and the caller re-appends
+  // the replayed hours (fewer rows than asked for is not an error).
+  CsvWriter resumed(path, {"hour", "cost"}, 3);
+  EXPECT_EQ(resumed.num_rows(), 2u);
   std::remove(path.c_str());
 }
 

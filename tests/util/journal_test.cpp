@@ -125,6 +125,54 @@ TEST(JournalTest, SaveAtomicLoadsBackAndLeavesNoTempFile) {
   std::remove(path.c_str());
 }
 
+TEST(JournalTest, GenerationPathNaming) {
+  EXPECT_EQ(Journal::generation_path("ck.j", 0), "ck.j");
+  EXPECT_EQ(Journal::generation_path("ck.j", 1), "ck.j.1");
+  EXPECT_EQ(Journal::generation_path("ck.j", 7), "ck.j.7");
+}
+
+TEST(JournalTest, RotateGenerationsShiftsAndDropsTheOldest) {
+  const std::string path = temp_path("billcap_journal_rotate.j");
+  for (std::size_t g = 0; g < 5; ++g)
+    std::remove(Journal::generation_path(path, g).c_str());
+
+  const auto save_marked = [&](std::size_t mark) {
+    Journal j("journal-test", 1);
+    j.set_size("mark", mark);
+    j.save_atomic(path);
+  };
+  const auto mark_of = [&](std::size_t g) {
+    return Journal::load(Journal::generation_path(path, g), "journal-test", 1)
+        .get_size("mark");
+  };
+
+  // Four save+rotate cycles through a K=3 chain: only the three newest
+  // marks survive, each shifted one slot per rotation.
+  for (std::size_t mark = 0; mark < 4; ++mark) {
+    Journal::rotate_generations(path, 3);
+    save_marked(mark);
+  }
+  EXPECT_EQ(mark_of(0), 3u);
+  EXPECT_EQ(mark_of(1), 2u);
+  EXPECT_EQ(mark_of(2), 1u);
+  EXPECT_FALSE(std::filesystem::exists(Journal::generation_path(path, 3)));
+
+  // Missing middle generations are skipped, not fatal.
+  std::remove(Journal::generation_path(path, 1).c_str());
+  Journal::rotate_generations(path, 3);
+  EXPECT_FALSE(std::filesystem::exists(path));  // newest moved down
+  EXPECT_EQ(mark_of(1), 3u);
+  EXPECT_EQ(mark_of(2), 1u);  // old gen 2 kept its slot (gen 1 was absent)
+
+  // keep_generations <= 1 is a no-op (single-checkpoint legacy layout).
+  save_marked(9);
+  Journal::rotate_generations(path, 1);
+  EXPECT_EQ(mark_of(0), 9u);
+
+  for (std::size_t g = 0; g < 5; ++g)
+    std::remove(Journal::generation_path(path, g).c_str());
+}
+
 TEST(JournalTest, LoadRejectsMissingAndTruncatedFiles) {
   EXPECT_THROW(Journal::load(temp_path("billcap_journal_absent.j"),
                              "journal-test", 1),

@@ -10,7 +10,16 @@
 //                      [--fault-*-mean H] [--crash-rate p] [--crash-at h,..]
 //                      [--feed-retry-prob p] [--feed-max-retries N]
 //                      [--checkpoint path] [--resume]
+//                      [--keep-generations K] [--die-on-crash]
+//                      [--exit-storm h:n,...] [--corrupt-checkpoint-at h,..]
+//                      [--standby [--standby-hours N]]
 //                      [--min-premium r]
+//   billcap supervise  --checkpoint path [simulate flags...]
+//                      [--restart-budget N] [--restart-window-s S]
+//                      [--backoff-ms B] [--backoff-multiplier M]
+//                      [--backoff-max-ms X] [--backoff-jitter J]
+//                      [--escalate-after N] [--standby-hours H]
+//                      [--keep-generations K]
 //   billcap sweep      [--budgets a,b,c] [--policy 0..3] [--seed N]
 //   billcap opf        [--load MW]
 //   billcap trace      [--seed N]
@@ -21,21 +30,31 @@
 //
 // Exit codes:
 //   0  success
-//   1  runtime error (I/O failure, corrupted checkpoint, internal error)
+//   1  runtime error (I/O failure, no viable checkpoint, internal error)
 //   2  usage error (unknown command, unparseable or out-of-range flag)
 //   3  unrecoverable degradation (the premium QoS guarantee was broken)
+//   4  graceful stop (SIGTERM/SIGINT, or a standby attempt's chunk done)
+//   5  the supervisor gave up (restart budget exhausted)
 
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "core/checkpoint.hpp"
 #include "core/simulator.hpp"
+#include "core/supervisor.hpp"
 #include "market/dcopf.hpp"
 #include "market/pjm5.hpp"
 #include "market/policy_derivation.hpp"
@@ -139,6 +158,16 @@ void parse_faults(const util::CliArgs& args, core::SimulationConfig& config) {
   for (const auto& t : parse_tuples(args.get("crash-at"), 1, "crash-at"))
     config.fault_plan.crashes.push_back(
         {static_cast<std::size_t>(t[0]), false});
+  for (const auto& t : parse_tuples(args.get("exit-storm"), 2, "exit-storm")) {
+    if (t[1] < 1.0)
+      throw util::UsageError("--exit-storm: death count must be >= 1");
+    config.fault_plan.exit_storms.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1])});
+  }
+  for (const auto& t : parse_tuples(args.get("corrupt-checkpoint-at"), 1,
+                                    "corrupt-checkpoint-at"))
+    config.fault_plan.checkpoint_corruptions.push_back(
+        {static_cast<std::size_t>(t[0])});
 
   config.fault_rates.outage_rate = args.get_prob("fault-outage-rate", 0.0);
   config.fault_rates.stale_rate = args.get_prob("fault-stale-rate", 0.0);
@@ -188,12 +217,19 @@ std::vector<std::string> hour_csv_row(const core::HourRecord& h) {
           std::to_string(h.feed_attempts), h.feed_recovered ? "1" : "0"};
 }
 
+/// SIGTERM/SIGINT land here during a checkpointed run: the hourly loop
+/// finishes the in-flight hour, commits its checkpoint and exits with
+/// core::kExitStopped — the supervisor reads that as "do not restart".
+volatile std::sig_atomic_t g_stop_requested = 0;
+void request_stop(int) { g_stop_requested = 1; }
+
 int cmd_simulate(const util::CliArgs& args) {
   core::SimulationConfig config;
   config.monthly_budget = args.get_positive_double("budget", 1.5e6);
   config.policy_level = static_cast<int>(args.get_long("policy", 1));
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
   config.enforce_budget = !args.get_bool("no-cap", false);
+  config.standby = args.get_bool("standby", false);
   parse_faults(args, config);
   const core::Strategy strategy =
       parse_strategy(args.get("strategy", "costcapping"));
@@ -203,12 +239,25 @@ int cmd_simulate(const util::CliArgs& args) {
 
   const std::string checkpoint_path = args.get("checkpoint");
   const bool resume = args.get_bool("resume", false);
+  const bool die_on_crash = args.get_bool("die-on-crash", false);
+  const auto keep_generations = static_cast<std::size_t>(
+      args.get_positive_long("keep-generations", 1));
   if (resume && checkpoint_path.empty())
     throw util::UsageError("--resume requires --checkpoint <path>");
   if (checkpoint_path.empty() && !config.fault_plan.crashes.empty())
     throw util::UsageError("--crash-at requires --checkpoint <path>");
   if (checkpoint_path.empty() && config.fault_rates.crash_rate > 0.0)
     throw util::UsageError("--crash-rate requires --checkpoint <path>");
+  if (checkpoint_path.empty() && !config.fault_plan.exit_storms.empty())
+    throw util::UsageError("--exit-storm requires --checkpoint <path>");
+  if (checkpoint_path.empty() &&
+      !config.fault_plan.checkpoint_corruptions.empty())
+    throw util::UsageError(
+        "--corrupt-checkpoint-at requires --checkpoint <path>");
+  if (die_on_crash && checkpoint_path.empty())
+    throw util::UsageError("--die-on-crash requires --checkpoint <path>");
+  if (args.has("standby-hours") && !config.standby)
+    throw util::UsageError("--standby-hours requires --standby");
 
   const core::Simulator sim(config);
 
@@ -262,16 +311,61 @@ int cmd_simulate(const util::CliArgs& args) {
       writer->add_row(hour_csv_row(h));
     };
 
-    core::Simulator::ResumableOutcome outcome =
-        sim.run_resumable(strategy, checkpoint_path, resume, on_hour);
+    // Honour SIGTERM/SIGINT as a graceful stop: finish the hour, commit
+    // the checkpoint, exit with the "do not restart" code.
+    g_stop_requested = 0;
+    std::signal(SIGTERM, request_stop);
+    std::signal(SIGINT, request_stop);
+
+    core::Simulator::ResumeControls controls;
+    controls.keep_generations = keep_generations;
+    controls.stop_flag = &g_stop_requested;
+    if (config.standby)
+      controls.max_hours = static_cast<std::size_t>(
+          args.get_positive_long("standby-hours", 4));
+
+    const auto report_resume = [&](const core::Simulator::ResumableOutcome& o) {
+      for (const auto& skipped : o.resume_skipped)
+        std::fprintf(stderr, "checkpoint generation skipped: %s\n",
+                     skipped.c_str());
+      if (o.resumed_generation > 0)
+        std::fprintf(stderr,
+                     "resumed from checkpoint generation %zu at hour %zu "
+                     "(newer generations unusable)\n",
+                     o.resumed_generation, o.resumed_from);
+    };
+
+    core::Simulator::ResumableOutcome outcome = sim.run_resumable(
+        strategy, checkpoint_path, resume, on_hour, controls);
+    report_resume(outcome);
     std::size_t restarts = 0;
     while (outcome.crashed) {
+      if (die_on_crash) {
+        // Supervised mode: the injected fault must kill the real process
+        // (the cursor-advanced checkpoint is already on disk), so the
+        // watchdog sees a genuine abnormal death.
+        std::fprintf(stderr, "controller crashed at hour %zu; dying\n",
+                     outcome.crash_hour);
+        std::fflush(nullptr);
+#if defined(__unix__) || defined(__APPLE__)
+        std::raise(SIGKILL);
+#endif
+        std::abort();
+      }
       ++restarts;
       std::fprintf(stderr,
                    "controller crashed at hour %zu; resuming from %s\n",
                    outcome.crash_hour, checkpoint_path.c_str());
       writer.reset();  // reopen against the post-crash checkpoint state
-      outcome = sim.run_resumable(strategy, checkpoint_path, true, on_hour);
+      outcome = sim.run_resumable(strategy, checkpoint_path, true, on_hour,
+                                  controls);
+      report_resume(outcome);
+    }
+    if (outcome.stopped) {
+      std::printf("stopped gracefully at hour %zu (checkpoint consistent; "
+                  "resume with --resume)\n",
+                  outcome.result.hours.size());
+      return core::kExitStopped;
     }
     r = std::move(outcome.result);
     if (restarts > 0)
@@ -415,6 +509,110 @@ int cmd_trace(const util::CliArgs& args) {
   return 0;
 }
 
+/// Absolute path of this binary, for spawning supervised children. Falls
+/// back to argv[0] when /proc/self/exe is unavailable.
+std::string self_path(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+#endif
+  return std::string(argv0);
+}
+
+/// billcap supervise: a watchdog around `billcap simulate`. Forks the
+/// controller as a child, restarts it (with budget + backoff) when it dies
+/// abnormally, escalates to the degraded premium-only standby after
+/// repeated zero-progress deaths, and stops cleanly on SIGTERM/SIGINT or a
+/// graceful child exit. Needs raw argv so non-supervisor flags can be
+/// forwarded to the child verbatim.
+int cmd_supervise(int argc, char** argv, const util::CliArgs& args) {
+  const std::string checkpoint_path = args.get("checkpoint");
+  if (checkpoint_path.empty())
+    throw util::UsageError("supervise requires --checkpoint <path>");
+
+  core::SupervisorOptions options;
+  options.restart_budget =
+      static_cast<std::size_t>(args.get_positive_long("restart-budget", 100));
+  options.restart_window_s =
+      args.get_positive_double("restart-window-s", 3600.0);
+  options.backoff_base_ms = args.get_positive_double("backoff-ms", 50.0);
+  options.backoff_multiplier =
+      args.get_positive_double("backoff-multiplier", 2.0);
+  options.backoff_max_ms = args.get_positive_double("backoff-max-ms", 5000.0);
+  options.backoff_jitter_frac = args.get_prob("backoff-jitter", 0.2);
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
+  options.escalate_after =
+      static_cast<std::size_t>(args.get_positive_long("escalate-after", 3));
+  options.standby_hours =
+      static_cast<std::size_t>(args.get_positive_long("standby-hours", 4));
+  const auto keep_generations = static_cast<std::size_t>(
+      args.get_positive_long("keep-generations", 3));
+
+  // Flags the supervisor consumes or controls itself; everything else on
+  // the command line is forwarded to the simulate child verbatim.
+  static const std::set<std::string> kSupervisorFlags = {
+      "restart-budget", "restart-window-s", "backoff-ms",
+      "backoff-multiplier", "backoff-max-ms", "backoff-jitter",
+      "escalate-after", "standby-hours", "keep-generations",
+      "resume", "die-on-crash", "standby"};
+  std::vector<std::string> forwarded;
+  bool command_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.size() >= 3 && token[0] == '-' && token[1] == '-') {
+      const std::size_t eq = token.find('=');
+      const std::string name =
+          eq == std::string::npos ? token.substr(2) : token.substr(2, eq - 2);
+      const bool separate_value =
+          eq == std::string::npos && i + 1 < argc &&
+          !(std::string(argv[i + 1]).rfind("--", 0) == 0);
+      if (kSupervisorFlags.count(name)) {
+        if (separate_value) ++i;
+        continue;
+      }
+      forwarded.push_back(token);
+      if (separate_value) forwarded.emplace_back(argv[++i]);
+    } else if (!command_seen) {
+      command_seen = true;  // the "supervise" command word
+    } else {
+      throw util::UsageError("supervise: unexpected positional '" + token +
+                             "'");
+    }
+  }
+
+  // Both children always resume from the rotated checkpoint chain and let
+  // injected crashes kill the real process so the watchdog sees them.
+  core::ChildSpec primary;
+  primary.program = self_path(argv[0]);
+  primary.args.emplace_back("simulate");
+  primary.args.insert(primary.args.end(), forwarded.begin(), forwarded.end());
+  primary.args.emplace_back("--resume");
+  primary.args.emplace_back("--die-on-crash");
+  primary.args.emplace_back("--keep-generations");
+  primary.args.push_back(std::to_string(keep_generations));
+
+  core::ChildSpec standby = primary;
+  standby.args.emplace_back("--standby");
+  standby.args.emplace_back("--standby-hours");
+  standby.args.push_back(std::to_string(options.standby_hours));
+
+  core::Supervisor supervisor(options, std::move(primary), std::move(standby),
+                              checkpoint_path, keep_generations);
+  const core::SuperviseReport report = supervisor.run();
+
+  std::printf(
+      "supervise: %zu primary run(s), %zu standby run(s), %zu restart(s)%s\n",
+      report.primary_runs, report.standby_runs, report.restarts,
+      report.escalated ? " [escalated to standby]" : "");
+  if (report.gave_up)
+    std::fprintf(stderr, "supervise: gave up (restart budget exhausted)\n");
+  return report.exit_code;
+}
+
 int cmd_help() {
   std::printf(
       "billcap — electricity bill capping for cloud-scale data centers\n\n"
@@ -435,17 +633,34 @@ int cmd_help() {
       "              checkpoint) --resume (continue from it)\n"
       "              --crash-at h1,h2,...  --crash-rate p (injected\n"
       "              controller deaths, survived via the checkpoint)\n"
+      "              --exit-storm hour:count,...  (repeated no-progress\n"
+      "              deaths) --corrupt-checkpoint-at h,... (bit rot in the\n"
+      "              newest checkpoint generation)\n"
+      "              --keep-generations K  rotated checkpoint generations\n"
+      "              --die-on-crash  injected crashes SIGKILL the process\n"
+      "              --standby [--standby-hours N]  degraded premium-only\n"
+      "              mode (no MILP), N committed hours per attempt\n"
       "            --deadline-ms M   hard wall-clock limit per solve\n"
       "            --min-premium r   exit 3 if premium throughput < r\n"
+      "  supervise watchdog around simulate: forks the controller, restarts\n"
+      "            abnormal exits with a budget (--restart-budget\n"
+      "            --restart-window-s) and exponential backoff (--backoff-ms\n"
+      "            --backoff-multiplier --backoff-max-ms --backoff-jitter),\n"
+      "            escalates to standby after --escalate-after zero-progress\n"
+      "            deaths, keeps --keep-generations rotated checkpoints.\n"
+      "            All other flags are forwarded to the simulate child.\n"
       "  sweep     budget sweep (--budgets 0.5e6,1e6,... --policy --seed)\n"
       "  opf       PJM 5-bus optimal power flow (--load MW)\n"
       "  trace     synthetic workload statistics (--seed)\n"
       "  help      this text\n\n"
       "exit codes:\n"
       "  0  success\n"
-      "  1  runtime error (I/O failure, corrupted checkpoint)\n"
+      "  1  runtime error (I/O failure, no viable checkpoint generation)\n"
       "  2  usage error (unknown command, bad or out-of-range flag)\n"
-      "  3  unrecoverable degradation (premium QoS guarantee broken)\n");
+      "  3  unrecoverable degradation (premium QoS guarantee broken)\n"
+      "  4  graceful stop (SIGTERM/SIGINT honoured, or a standby attempt\n"
+      "     that committed its chunk) — resume with --resume\n"
+      "  5  supervisor gave up (restart budget exhausted)\n");
   return 0;
 }
 
@@ -455,6 +670,7 @@ int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   try {
     if (args.command() == "simulate") return cmd_simulate(args);
+    if (args.command() == "supervise") return cmd_supervise(argc, argv, args);
     if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "opf") return cmd_opf(args);
     if (args.command() == "trace") return cmd_trace(args);
