@@ -7,14 +7,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/checkpoint_keys.hpp"
 #include "util/journal.hpp"
 
 namespace billcap::core {
 
 namespace {
-
-constexpr const char* kMagic = "billcap-checkpoint";
-constexpr int kVersion = 1;
 
 // ---- digest ---------------------------------------------------------------
 
@@ -222,104 +220,105 @@ bool checkpoint_exists(const std::string& path) noexcept {
 }
 
 void save_checkpoint(const std::string& path, const CheckpointState& state) {
-  util::Journal journal(kMagic, kVersion);
-  journal.set_u64("config_digest", state.config_digest);
-  journal.set_u64("strategy", static_cast<std::uint64_t>(state.strategy));
-  journal.set_size("next_hour", state.next_hour);
-  journal.set_double_bits("spent", state.spent);
-  journal.set_size("crashes_fired", state.crashes_fired);
-  journal.set_size("storms_fired", state.storms_fired);
-  journal.set_size("corruptions_fired", state.corruptions_fired);
+  util::Journal journal(keys::kCheckpointMagic, keys::kCheckpointVersion);
+  journal.set_u64(keys::kConfigDigest, state.config_digest);
+  journal.set_u64(keys::kStrategy, static_cast<std::uint64_t>(state.strategy));
+  journal.set_size(keys::kNextHour, state.next_hour);
+  journal.set_double_bits(keys::kSpent, state.spent);
+  journal.set_size(keys::kCrashesFired, state.crashes_fired);
+  journal.set_size(keys::kStormsFired, state.storms_fired);
+  journal.set_size(keys::kCorruptionsFired, state.corruptions_fired);
   for (std::size_t i = 0; i < state.feed.rng.size(); ++i)
-    journal.set_u64("feed_rng" + std::to_string(i), state.feed.rng[i]);
-  journal.set_size("feed_recovered_until", state.feed.recovered_until);
+    journal.set_u64(keys::feed_rng(i), state.feed.rng[i]);
+  journal.set_size(keys::kFeedRecoveredUntil, state.feed.recovered_until);
 
   const MonthlyResult& r = state.partial;
-  journal.set_double_bits("monthly_budget", r.monthly_budget);
-  journal.set_double_bits("total_cost", r.total_cost);
-  journal.set_double_bits("total_premium_arrivals", r.total_premium_arrivals);
-  journal.set_double_bits("total_ordinary_arrivals",
+  journal.set_double_bits(keys::kMonthlyBudget, r.monthly_budget);
+  journal.set_double_bits(keys::kTotalCost, r.total_cost);
+  journal.set_double_bits(keys::kTotalPremiumArrivals, r.total_premium_arrivals);
+  journal.set_double_bits(keys::kTotalOrdinaryArrivals,
                           r.total_ordinary_arrivals);
-  journal.set_double_bits("total_served_premium", r.total_served_premium);
-  journal.set_double_bits("total_served_ordinary", r.total_served_ordinary);
-  journal.set_double_bits("max_solve_ms", r.max_solve_ms);
-  journal.set_size("degraded_hours", r.degraded_hours);
-  journal.set_size("incumbent_hours", r.incumbent_hours);
-  journal.set_size("heuristic_hours", r.heuristic_hours);
-  journal.set_size("outage_hours", r.outage_hours);
-  journal.set_size("stale_hours", r.stale_hours);
-  journal.set_size("feed_retry_attempts", r.feed_retry_attempts);
-  journal.set_size("feed_recovered_hours", r.feed_recovered_hours);
-  journal.set_size("crash_recoveries", r.crash_recoveries);
+  journal.set_double_bits(keys::kTotalServedPremium, r.total_served_premium);
+  journal.set_double_bits(keys::kTotalServedOrdinary, r.total_served_ordinary);
+  journal.set_double_bits(keys::kMaxSolveMs, r.max_solve_ms);
+  journal.set_size(keys::kDegradedHours, r.degraded_hours);
+  journal.set_size(keys::kIncumbentHours, r.incumbent_hours);
+  journal.set_size(keys::kHeuristicHours, r.heuristic_hours);
+  journal.set_size(keys::kOutageHours, r.outage_hours);
+  journal.set_size(keys::kStaleHours, r.stale_hours);
+  journal.set_size(keys::kFeedRetryAttempts, r.feed_retry_attempts);
+  journal.set_size(keys::kFeedRecoveredHours, r.feed_recovered_hours);
+  journal.set_size(keys::kCrashRecoveries, r.crash_recoveries);
   {
     std::ostringstream tally;
     for (std::size_t i = 0; i < r.failure_tally.size(); ++i) {
       if (i) tally << ' ';
       tally << r.failure_tally[i];
     }
-    journal.set("failure_tally", tally.str());
+    journal.set(keys::kFailureTally, tally.str());
   }
 
-  journal.set_size("hours", r.hours.size());
+  journal.set_size(keys::kHours, r.hours.size());
   for (std::size_t i = 0; i < r.hours.size(); ++i)
-    journal.set("h" + std::to_string(i), encode_hour(r.hours[i]));
+    journal.set(keys::hour(i), encode_hour(r.hours[i]));
 
   journal.save_atomic(path);
 }
 
 CheckpointState load_checkpoint(const std::string& path) {
-  const util::Journal journal = util::Journal::load(path, kMagic, kVersion);
+  const util::Journal journal = util::Journal::load(
+      path, keys::kCheckpointMagic, keys::kCheckpointVersion);
 
   CheckpointState state;
-  state.config_digest = journal.get_u64("config_digest");
-  state.strategy = static_cast<Strategy>(journal.get_u64("strategy"));
-  state.next_hour = journal.get_size("next_hour");
-  state.spent = journal.get_double_bits("spent");
-  state.crashes_fired = journal.get_size("crashes_fired");
+  state.config_digest = journal.get_u64(keys::kConfigDigest);
+  state.strategy = static_cast<Strategy>(journal.get_u64(keys::kStrategy));
+  state.next_hour = journal.get_size(keys::kNextHour);
+  state.spent = journal.get_double_bits(keys::kSpent);
+  state.crashes_fired = journal.get_size(keys::kCrashesFired);
   // Written since the rotated-generations format; absent in checkpoints
   // from before that, which simply had no storms/corruptions to count.
   state.storms_fired =
-      journal.has("storms_fired") ? journal.get_size("storms_fired") : 0;
-  state.corruptions_fired = journal.has("corruptions_fired")
-                                ? journal.get_size("corruptions_fired")
+      journal.has(keys::kStormsFired) ? journal.get_size(keys::kStormsFired) : 0;
+  state.corruptions_fired = journal.has(keys::kCorruptionsFired)
+                                ? journal.get_size(keys::kCorruptionsFired)
                                 : 0;
   for (std::size_t i = 0; i < state.feed.rng.size(); ++i)
-    state.feed.rng[i] = journal.get_u64("feed_rng" + std::to_string(i));
-  state.feed.recovered_until = journal.get_size("feed_recovered_until");
+    state.feed.rng[i] = journal.get_u64(keys::feed_rng(i));
+  state.feed.recovered_until = journal.get_size(keys::kFeedRecoveredUntil);
 
   MonthlyResult& r = state.partial;
   r.strategy = state.strategy;
-  r.monthly_budget = journal.get_double_bits("monthly_budget");
-  r.total_cost = journal.get_double_bits("total_cost");
-  r.total_premium_arrivals = journal.get_double_bits("total_premium_arrivals");
+  r.monthly_budget = journal.get_double_bits(keys::kMonthlyBudget);
+  r.total_cost = journal.get_double_bits(keys::kTotalCost);
+  r.total_premium_arrivals = journal.get_double_bits(keys::kTotalPremiumArrivals);
   r.total_ordinary_arrivals =
-      journal.get_double_bits("total_ordinary_arrivals");
-  r.total_served_premium = journal.get_double_bits("total_served_premium");
-  r.total_served_ordinary = journal.get_double_bits("total_served_ordinary");
-  r.max_solve_ms = journal.get_double_bits("max_solve_ms");
-  r.degraded_hours = journal.get_size("degraded_hours");
-  r.incumbent_hours = journal.get_size("incumbent_hours");
-  r.heuristic_hours = journal.get_size("heuristic_hours");
-  r.outage_hours = journal.get_size("outage_hours");
-  r.stale_hours = journal.get_size("stale_hours");
-  r.feed_retry_attempts = journal.get_size("feed_retry_attempts");
-  r.feed_recovered_hours = journal.get_size("feed_recovered_hours");
-  r.crash_recoveries = journal.get_size("crash_recoveries");
+      journal.get_double_bits(keys::kTotalOrdinaryArrivals);
+  r.total_served_premium = journal.get_double_bits(keys::kTotalServedPremium);
+  r.total_served_ordinary = journal.get_double_bits(keys::kTotalServedOrdinary);
+  r.max_solve_ms = journal.get_double_bits(keys::kMaxSolveMs);
+  r.degraded_hours = journal.get_size(keys::kDegradedHours);
+  r.incumbent_hours = journal.get_size(keys::kIncumbentHours);
+  r.heuristic_hours = journal.get_size(keys::kHeuristicHours);
+  r.outage_hours = journal.get_size(keys::kOutageHours);
+  r.stale_hours = journal.get_size(keys::kStaleHours);
+  r.feed_retry_attempts = journal.get_size(keys::kFeedRetryAttempts);
+  r.feed_recovered_hours = journal.get_size(keys::kFeedRecoveredHours);
+  r.crash_recoveries = journal.get_size(keys::kCrashRecoveries);
   {
-    std::istringstream tally(journal.get("failure_tally"));
+    std::istringstream tally(journal.get(keys::kFailureTally));
     for (std::size_t i = 0; i < r.failure_tally.size(); ++i)
       if (!(tally >> r.failure_tally[i]))
         throw std::runtime_error("checkpoint: malformed failure_tally");
   }
 
-  const std::size_t hours = journal.get_size("hours");
+  const std::size_t hours = journal.get_size(keys::kHours);
   if (hours != state.next_hour)
     throw std::runtime_error(
         "checkpoint: hour count does not match next_hour (inconsistent "
         "file)");
   r.hours.reserve(hours);
   for (std::size_t i = 0; i < hours; ++i)
-    r.hours.push_back(decode_hour(journal.get("h" + std::to_string(i))));
+    r.hours.push_back(decode_hour(journal.get(keys::hour(i))));
   return state;
 }
 

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace billcap::core::keys {
+
+/// The one registry of every key the checkpoint journal reads or writes.
+/// save_checkpoint and load_checkpoint (and the generation-fallback scan
+/// built on it) must both go through these constants so a typo cannot make
+/// a field silently vanish on resume — billcap-lint rule BL011
+/// (journal-key) rejects raw string keys at Journal call sites.
+
+/// On-disk format identity of the checkpoint journal.
+inline constexpr const char* kCheckpointMagic = "billcap-checkpoint";
+inline constexpr int kCheckpointVersion = 1;
+
+// ---- run identity and crash cursor ----------------------------------------
+inline constexpr const char* kConfigDigest = "config_digest";
+inline constexpr const char* kStrategy = "strategy";
+inline constexpr const char* kNextHour = "next_hour";
+inline constexpr const char* kSpent = "spent";
+inline constexpr const char* kCrashesFired = "crashes_fired";
+inline constexpr const char* kStormsFired = "storms_fired";
+inline constexpr const char* kCorruptionsFired = "corruptions_fired";
+
+// ---- market-feed retry state ----------------------------------------------
+inline constexpr const char* kFeedRecoveredUntil = "feed_recovered_until";
+
+// ---- partial MonthlyResult aggregates -------------------------------------
+inline constexpr const char* kMonthlyBudget = "monthly_budget";
+inline constexpr const char* kTotalCost = "total_cost";
+inline constexpr const char* kTotalPremiumArrivals = "total_premium_arrivals";
+inline constexpr const char* kTotalOrdinaryArrivals = "total_ordinary_arrivals";
+inline constexpr const char* kTotalServedPremium = "total_served_premium";
+inline constexpr const char* kTotalServedOrdinary = "total_served_ordinary";
+inline constexpr const char* kMaxSolveMs = "max_solve_ms";
+inline constexpr const char* kDegradedHours = "degraded_hours";
+inline constexpr const char* kIncumbentHours = "incumbent_hours";
+inline constexpr const char* kHeuristicHours = "heuristic_hours";
+inline constexpr const char* kOutageHours = "outage_hours";
+inline constexpr const char* kStaleHours = "stale_hours";
+inline constexpr const char* kFeedRetryAttempts = "feed_retry_attempts";
+inline constexpr const char* kFeedRecoveredHours = "feed_recovered_hours";
+inline constexpr const char* kCrashRecoveries = "crash_recoveries";
+inline constexpr const char* kFailureTally = "failure_tally";
+inline constexpr const char* kHours = "hours";
+
+// ---- indexed key families --------------------------------------------------
+
+/// Key of word `i` of the market-feed RNG state.
+inline std::string feed_rng(std::size_t i) {
+  return "feed_rng" + std::to_string(i);
+}
+
+/// Key of the encoded HourRecord for committed hour `i`.
+inline std::string hour(std::size_t i) { return "h" + std::to_string(i); }
+
+}  // namespace billcap::core::keys

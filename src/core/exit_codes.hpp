@@ -1,0 +1,46 @@
+#pragma once
+
+namespace billcap::core {
+
+/// The one process exit-code table for the whole system: the CLI, the
+/// supervised controller child and the watchdog all speak this protocol
+/// (documented in README.md). billcap-lint rule BL010 (exit-code) rejects
+/// raw integer literals at exit surfaces so the table cannot drift.
+enum class ExitCode : int {
+  kOk = 0,            ///< month completed / command succeeded
+  kRuntimeError = 1,  ///< I/O failure, no viable checkpoint, internal error
+  kUsage = 2,         ///< bad command or flag — a restart cannot help
+  kQosBroken = 3,     ///< premium QoS guarantee broken (--min-premium)
+  kStopped = 4,       ///< graceful stop (SIGTERM/SIGINT honoured, or a
+                      ///< standby attempt that committed its hour chunk) —
+                      ///< checkpoint consistent, do not treat as a failure
+  kGaveUp = 5,        ///< the supervisor exhausted its restart budget
+  kExecFailed = 127,  ///< fork succeeded but exec of the child binary failed
+};
+
+constexpr int to_int(ExitCode code) noexcept { return static_cast<int>(code); }
+
+constexpr const char* to_string(ExitCode code) noexcept {
+  switch (code) {
+    case ExitCode::kOk: return "ok";
+    case ExitCode::kRuntimeError: return "runtime-error";
+    case ExitCode::kUsage: return "usage-error";
+    case ExitCode::kQosBroken: return "qos-broken";
+    case ExitCode::kStopped: return "stopped";
+    case ExitCode::kGaveUp: return "gave-up";
+    case ExitCode::kExecFailed: return "exec-failed";
+  }
+  return "unknown";
+}
+
+/// Integer spellings of the protocol, kept for call sites that hand the
+/// value straight to wait-status plumbing or test assertions.
+inline constexpr int kExitSuccess = to_int(ExitCode::kOk);
+inline constexpr int kExitRuntimeError = to_int(ExitCode::kRuntimeError);
+inline constexpr int kExitUsage = to_int(ExitCode::kUsage);
+inline constexpr int kExitQosBroken = to_int(ExitCode::kQosBroken);
+inline constexpr int kExitStopped = to_int(ExitCode::kStopped);
+inline constexpr int kExitGaveUp = to_int(ExitCode::kGaveUp);
+inline constexpr int kExitExecFailed = to_int(ExitCode::kExecFailed);
+
+}  // namespace billcap::core

@@ -17,7 +17,11 @@ namespace billcap::core {
 
 namespace {
 
+// solve_ms is timing telemetry only — it is excluded from bitwise-resume
+// comparisons (see crash_resume_test).
+// billcap-lint: allow(wall-clock): telemetry-only, never checkpointed
 double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  // billcap-lint: allow(wall-clock): same sanctioned telemetry site
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
@@ -239,6 +243,7 @@ HourRecord Simulator::run_capping_hour(const BillCapper& capper,
     if (squeeze > 0.0) overrides.time_limit_ms = squeeze;
   }
 
+  // billcap-lint: allow(wall-clock): telemetry-only, never checkpointed
   const auto start = std::chrono::steady_clock::now();
   const CappingOutcome outcome =
       capper.decide(premium, ordinary, d, budget, overrides);
@@ -306,6 +311,7 @@ HourRecord Simulator::run_hour_min_only(std::size_t hour,
   const double squeeze = injector_.solver_deadline_ms(hour);
   if (squeeze > 0.0) opts.milp.time_limit_ms = squeeze;
 
+  // billcap-lint: allow(wall-clock): telemetry-only, never checkpointed
   const auto start = std::chrono::steady_clock::now();
   AllocationResult allocation =
       minimize_cost_over_models(believed, admitted, opts);

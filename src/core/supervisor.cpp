@@ -207,7 +207,7 @@ int run_child(const ChildSpec& spec) {
     ::execv(spec.program.c_str(), argv.data());
     // Exec failed: report as a plain failure exit, not a crash.
     std::fprintf(stderr, "run_child: exec %s failed\n", spec.program.c_str());
-    ::_exit(127);
+    ::_exit(kExitExecFailed);
   }
 
   g_child_pid = pid;
@@ -239,6 +239,9 @@ std::size_t probe_checkpoint_hour(const std::string& checkpoint_path,
       return load_checkpoint(
                  util::Journal::generation_path(checkpoint_path, g))
           .next_hour;
+      // A noexcept probe by contract: the child that wrote a bad file
+      // already tagged its own FailureReason, so swallowing here is safe.
+      // billcap-lint: allow(catch-all): fall back to the older generation
     } catch (...) {
       // Missing or corrupted generation: fall back to the next one.
     }
@@ -261,7 +264,12 @@ Supervisor::Supervisor(SupervisorOptions options, ChildSpec primary,
     hooks_.run = [](const ChildSpec& spec, bool) { return run_child(spec); };
   if (!hooks_.now_s)
     hooks_.now_s = [] {
+      // Real-time-only supervision input: now_s feeds the restart window
+      // and backoff pacing, never the child's checkpointed state;
+      // supervisor_test pins that checkpointed output is byte-identical
+      // under different now_s schedules.
       return std::chrono::duration<double>(
+                 // billcap-lint: allow(wall-clock): real-time-only input
                  std::chrono::steady_clock::now().time_since_epoch())
           .count();
     };

@@ -5,24 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "core/exit_codes.hpp"
 #include "util/rng.hpp"
 
 namespace billcap::core {
-
-/// Exit-code protocol between a supervised controller child and the
-/// watchdog (documented in README.md):
-///   0  month completed (kExitSuccess)
-///   1  runtime error
-///   2  usage / configuration error — a restart cannot help
-///   3  premium QoS broken (--require-qos)
-///   4  graceful stop (SIGTERM/SIGINT honoured, or a standby attempt that
-///      committed its hour chunk) — checkpoint consistent, do not treat as
-///      a failure
-///   5  the supervisor itself gave up (restart budget exhausted)
-inline constexpr int kExitSuccess = 0;
-inline constexpr int kExitUsage = 2;
-inline constexpr int kExitStopped = 4;
-inline constexpr int kExitGaveUp = 5;
 
 /// How a supervised child ended, from the supervisor's point of view.
 enum class ChildExit {

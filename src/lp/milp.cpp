@@ -53,9 +53,13 @@ Solution solve_milp(const Problem& problem, const MilpOptions& options) {
   bool root_known = false;
 
   const bool deadline_armed = options.time_limit_ms > 0.0;
+  // The kTimeLimit deadline is real time by definition; deadline-armed
+  // solves are documented non-reproducible.
+  // billcap-lint: allow(wall-clock): solver deadline timing, never output
   const auto deadline_start = std::chrono::steady_clock::now();
   const auto past_deadline = [&]() {
     if (!deadline_armed) return false;
+    // billcap-lint: allow(wall-clock): same sanctioned deadline site
     const auto now = std::chrono::steady_clock::now();
     return std::chrono::duration<double, std::milli>(now - deadline_start)
                .count() >= options.time_limit_ms;

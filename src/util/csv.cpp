@@ -103,6 +103,9 @@ std::string Csv::to_string() const {
 }
 
 void Csv::save(const std::string& path) const {
+  // Callers own atomicity: CsvWriter's resume path saves to a temp file
+  // and renames over the original.
+  // billcap-lint: allow(raw-write): primitive used by the temp+rename path
   std::ofstream out(path);
   if (!out) throw std::runtime_error("Csv::save: cannot open " + path);
   out << to_string();

@@ -98,6 +98,9 @@ class CsvWriter {
   std::vector<std::string> header_;
   std::size_t num_rows_ = 0;
   // The stream lives in a pimpl-free member; ofstream is movable.
+  // CsvWriter is the sanctioned streaming writer: append-only, flushed
+  // per row, torn rows dropped on resume.
+  // billcap-lint: allow(raw-write): append stream with torn-row recovery
   std::ofstream out_;
 };
 

@@ -241,6 +241,9 @@ void Journal::save_atomic(const std::string& path) const {
   }
 #else
   {
+    // This IS the atomic path — the non-POSIX half of save_atomic writes
+    // the temp file that the rename below commits.
+    // billcap-lint: allow(raw-write): temp half of the temp+rename commit
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("Journal: cannot open " + tmp);
     out << text;

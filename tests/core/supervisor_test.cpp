@@ -393,5 +393,51 @@ TEST(SupervisorTest, ProbeFallsBackPastCorruptedGenerations) {
     std::remove(util::Journal::generation_path(path, g).c_str());
 }
 
+// ---- wall-clock independence (billcap-lint BL001 audit) -------------------
+
+// The supervisor's only wall-clock input is the injected now_s hook (see
+// the allow(wall-clock) annotation in supervisor.cpp). This pins the
+// audit's claim: the same failure sequence observed under two very
+// different real-time schedules — a tight crash loop vs. failures spread
+// over most of an hour, both inside the restart window — produces
+// identical decisions: same actions, same jittered backoff delays, same
+// escalation points. Real time therefore cannot change which children run,
+// and the checkpointed state they produce stays byte-identical (the
+// end-to-end half of that claim is pinned by the crash_resume bitwise
+// tests).
+TEST(SupervisorPolicyTest, DecisionsAreIndependentOfTheWallClockSchedule) {
+  SupervisorOptions o = fast_options();
+  o.backoff_jitter_frac = 0.2;  // jitter on: the rng draw order matters
+  o.escalate_after = 2;
+  o.seed = 7;
+
+  const auto run_schedule = [&](double start_s, double step_s) {
+    SupervisorPolicy policy(o);
+    const ChildExit exits[] = {ChildExit::kSignalled, ChildExit::kFailure,
+                               ChildExit::kSignalled, ChildExit::kFailure};
+    const std::size_t advanced[] = {0, 0, 4, 0};
+    const bool standby[] = {false, false, true, false};
+    std::vector<SupervisorDecision> decisions;
+    double now = start_s;
+    for (std::size_t i = 0; i < 4; ++i) {
+      decisions.push_back(
+          policy.on_child_exit(exits[i], standby[i], advanced[i], now));
+      now += step_s;
+    }
+    return decisions;
+  };
+
+  const auto fast = run_schedule(0.0, 0.001);  // tight crash loop
+  const auto slow = run_schedule(1e6, 800.0);  // spread over ~40 minutes
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].action, slow[i].action) << "step " << i;
+    EXPECT_EQ(fast[i].delay_ms, slow[i].delay_ms) << "step " << i;
+  }
+  // The schedule did exercise both escalation and jittered delays.
+  EXPECT_EQ(fast[1].action, Action::kRunStandby);
+  EXPECT_GT(fast[1].delay_ms, 0.0);
+}
+
 }  // namespace
 }  // namespace billcap::core

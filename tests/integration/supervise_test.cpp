@@ -14,6 +14,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -27,8 +28,13 @@
 namespace billcap::core {
 namespace {
 
+// Suffixed with the pid: ctest runs each test in its own process, with
+// several in flight at once, and two tests writing one fixed path (the
+// shared reference checkpoint especially) corrupt each other's files.
 std::string temp_path(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  return (std::filesystem::temp_directory_path() /
+          (name + "." + std::to_string(::getpid())))
+      .string();
 }
 
 std::string cli_path() { return BILLCAP_CLI_PATH; }

@@ -1,0 +1,14 @@
+// Fixture: BL030 bare-allow. Never compiled — scanned by lint_test only.
+#include <chrono>
+
+double bare() {
+  // billcap-lint: allow(wall-clock)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+// billcap-lint: allow(flux-capacitor): not a rule anyone registered
+int unknown_rule() { return 0; }
+
+// billcap-lint: see the style guide
+int no_allow_clause() { return 0; }

@@ -1,0 +1,10 @@
+// Fixture: BL020 catch-all. Never compiled — scanned by lint_test only.
+void risky();
+
+void bad_swallow() {
+  try {
+    risky();
+  } catch (...) {
+    // nothing tagged, nothing rethrown: the degradation is invisible
+  }
+}

@@ -1,0 +1,14 @@
+// Fixture: idiomatic code with no hazards scans clean. Never compiled.
+#include <cstdio>
+#include <map>
+#include <string>
+
+int main() {
+  std::map<std::string, double> ledger;
+  ledger["budget"] = 1.5e6;
+  for (const auto& [key, value] : ledger)
+    std::printf("%s %.6f\n", key.c_str(), value);
+  // A string mentioning time("now") or catch (...) shapes stays inert:
+  const std::string doc = "exit codes live in core::ExitCode";
+  return doc.empty() ? 1 : 0;
+}

@@ -1,0 +1,5 @@
+// Fixture: BL010 exit-code. Never compiled — scanned by lint_test only.
+int main(int argc, char**) {
+  if (argc < 2) return 2;
+  return 3;
+}

@@ -1,0 +1,4 @@
+// Fixture: BL003 float-format. Never compiled — scanned by lint_test only.
+#include <cstdio>
+
+void bad_report(double cost) { std::printf("cost %f\n", cost); }

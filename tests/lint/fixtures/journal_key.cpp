@@ -1,0 +1,7 @@
+// Fixture: BL011 journal-key. Never compiled — scanned by lint_test only.
+#include "util/journal.hpp"
+
+void bad_checkpoint(billcap::util::Journal& journal) {
+  journal.set_u64("next_hour", 17);
+  journal.set("spent", "1.5e6");
+}

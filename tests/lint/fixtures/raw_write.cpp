@@ -1,0 +1,13 @@
+// Fixture: BL012 raw-write. Never compiled — scanned by lint_test only.
+#include <cstdio>
+#include <fstream>
+
+void bad_save(const char* path) {
+  std::ofstream out(path);
+  out << "not atomic";
+}
+
+void bad_save_c(const char* path) {
+  FILE* f = fopen(path, "w");
+  if (f) fclose(f);
+}

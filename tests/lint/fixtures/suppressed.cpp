@@ -1,0 +1,15 @@
+// Fixture: a correctly annotated hazard scans clean. Never compiled.
+#include <chrono>
+#include <fstream>
+
+double sanctioned_now_s() {
+  // billcap-lint: allow(wall-clock): telemetry only, never checkpointed
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+void sanctioned_write(const char* tmp) {
+  // billcap-lint: allow(raw-write): temp half of a temp+rename commit
+  std::ofstream out(tmp);
+  out << "committed by rename";
+}

@@ -1,0 +1,4 @@
+// Fixture: BL021. Never compiled — scanned by lint_test only.
+
+// TODO handle the leap-hour edge case
+int answer() { return 0; }

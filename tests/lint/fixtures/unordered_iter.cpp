@@ -1,0 +1,9 @@
+// Fixture: BL002 unordered-iter. Never compiled — scanned by lint_test only.
+#include <string>
+#include <unordered_map>
+
+std::string bad_serialize(const std::unordered_map<std::string, double>& m) {
+  std::string out;
+  for (const auto& [key, value] : m) out += key + "\n";
+  return out;
+}

@@ -1,0 +1,10 @@
+// Fixture: BL001 wall-clock. Never compiled — scanned by lint_test only.
+#include <chrono>
+#include <cstdlib>
+
+double bad_now_s() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int bad_jitter() { return rand() % 100; }

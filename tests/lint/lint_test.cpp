@@ -1,0 +1,114 @@
+// Golden-fixture tests for billcap-lint (tools/lint). Each fixture under
+// tests/lint/fixtures/ is a minimal known-bad snippet that must trigger
+// exactly its intended rule; the annotated and idiomatic fixtures must
+// scan clean; and the real src/ + tools/ trees must scan clean so the
+// static-analysis stage of tools/ci.sh stays green by construction.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace billcap::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(BILLCAP_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// All findings in `findings` are of `rule`, and there is at least one.
+void expect_only(const std::vector<Finding>& findings, Rule rule,
+                 const std::string& which) {
+  EXPECT_FALSE(findings.empty())
+      << which << ": fixture triggered no findings";
+  for (const Finding& f : findings)
+    EXPECT_EQ(info(f.rule).id, info(rule).id)
+        << which << ": unexpected " << format_finding(f);
+}
+
+struct FixtureCase {
+  const char* file;
+  Rule rule;
+};
+
+TEST(LintFixtures, EachKnownBadFixtureTriggersExactlyItsRule) {
+  const FixtureCase cases[] = {
+      {"wall_clock.cpp", Rule::kWallClock},
+      {"unordered_iter.cpp", Rule::kUnorderedIter},
+      {"float_format.cpp", Rule::kFloatFormat},
+      {"exit_code.cpp", Rule::kExitCode},
+      {"journal_key.cpp", Rule::kJournalKey},
+      {"raw_write.cpp", Rule::kRawWrite},
+      {"catch_all.cpp", Rule::kCatchAll},
+      {"todo_issue.cpp", Rule::kTodoIssue},
+      {"bare_allow.cpp", Rule::kBareAllow},
+  };
+  for (const FixtureCase& c : cases)
+    expect_only(scan_file(fixture_path(c.file)), c.rule, c.file);
+}
+
+TEST(LintFixtures, AnnotatedHazardsScanClean) {
+  const std::vector<Finding> findings =
+      scan_file(fixture_path("suppressed.cpp"));
+  for (const Finding& f : findings) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(LintFixtures, IdiomaticCodeScansClean) {
+  const std::vector<Finding> findings = scan_file(fixture_path("clean.cpp"));
+  for (const Finding& f : findings) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(LintFixtures, BareAllowFlagsMissingRationaleAndUnknownRule) {
+  const std::vector<Finding> findings =
+      scan_file(fixture_path("bare_allow.cpp"));
+  // Three distinct misuses: allow() without rationale, allow() naming no
+  // rule, and a billcap-lint marker with no allow clause at all.
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(LintScanner, SuppressionCoversItsLineAndTheNext) {
+  const char* text =
+      "#include <chrono>\n"
+      "// billcap-lint: allow(wall-clock): sanctioned in this test\n"
+      "auto t = std::chrono::steady_clock::now();\n"
+      "auto u = std::chrono::steady_clock::now();\n";
+  const std::vector<Finding> findings = scan_source("buf.cpp", text);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+  EXPECT_EQ(findings[0].rule, Rule::kWallClock);
+}
+
+TEST(LintScanner, StringAndCommentContentsAreInert) {
+  const char* text =
+      "#include <string>\n"
+      "// system_clock in prose is fine; so is rand() in a comment\n"
+      "const std::string doc = \"steady_clock::now() and fopen(path)\";\n";
+  EXPECT_TRUE(scan_source("buf.cpp", text).empty());
+}
+
+TEST(LintScanner, RuleTableIsConsistent) {
+  for (const RuleInfo& r : rule_table()) {
+    EXPECT_EQ(find_rule(r.name), &r);
+    EXPECT_EQ(info(r.rule).id, r.id);
+    EXPECT_NE(std::string(r.rationale), "");
+  }
+  EXPECT_EQ(find_rule("no-such-rule"), nullptr);
+}
+
+TEST(LintTree, RealSourcesScanCleanWithExplicitSuppressionsOnly) {
+  std::size_t scanned = 0;
+  for (const char* root : {BILLCAP_REPO_ROOT "/src", BILLCAP_REPO_ROOT
+                           "/tools"}) {
+    for (const std::string& file : collect_sources(root)) {
+      for (const Finding& f : scan_file(file))
+        ADD_FAILURE() << format_finding(f);
+      ++scanned;
+    }
+  }
+  // A path mix-up that scans zero files would vacuously pass otherwise.
+  EXPECT_GT(scanned, 50u);
+}
+
+}  // namespace
+}  // namespace billcap::lint

@@ -53,6 +53,7 @@
 #endif
 
 #include "core/checkpoint.hpp"
+#include "core/exit_codes.hpp"
 #include "core/simulator.hpp"
 #include "core/supervisor.hpp"
 #include "market/dcopf.hpp"
@@ -288,9 +289,9 @@ int cmd_simulate(const util::CliArgs& args) {
                    "unrecoverable: premium throughput below %.3f in at "
                    "least one month\n",
                    min_premium);
-      return 3;
+      return core::kExitQosBroken;
     }
-    return 0;
+    return core::kExitSuccess;
   }
 
   const std::string csv_path = args.get("csv");
@@ -422,9 +423,9 @@ int cmd_simulate(const util::CliArgs& args) {
                  "unrecoverable: premium throughput %.4f below the %.3f "
                  "guarantee\n",
                  r.premium_throughput_ratio(), min_premium);
-    return 3;
+    return core::kExitQosBroken;
   }
-  return 0;
+  return core::kExitSuccess;
 }
 
 int cmd_sweep(const util::CliArgs& args) {
@@ -444,7 +445,7 @@ int cmd_sweep(const util::CliArgs& args) {
                    util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) + "%"});
   }
   table.print(std::cout);
-  return 0;
+  return core::kExitSuccess;
 }
 
 int cmd_opf(const util::CliArgs& args) {
@@ -455,7 +456,7 @@ int cmd_opf(const util::CliArgs& args) {
   if (!r.ok()) {
     std::printf("OPF %s at %.1f MW system load\n", lp::to_string(r.status),
                 load);
-    return 1;
+    return core::kExitRuntimeError;
   }
   const market::DcOpfReport report = market::analyze_opf(grid, r);
   std::printf("system load %.1f MW | dispatch cost $%.2f/h | reference "
@@ -480,7 +481,7 @@ int cmd_opf(const util::CliArgs& args) {
                     b.value);
     }
   }
-  return 0;
+  return core::kExitSuccess;
 }
 
 int cmd_trace(const util::CliArgs& args) {
@@ -506,7 +507,7 @@ int cmd_trace(const util::CliArgs& args) {
   row("spike hours", static_cast<double>(history.spike_hours),
       static_cast<double>(eval.spike_hours), 0);
   table.print(std::cout);
-  return 0;
+  return core::kExitSuccess;
 }
 
 /// Absolute path of this binary, for spawning supervised children. Falls
@@ -661,7 +662,7 @@ int cmd_help() {
       "  4  graceful stop (SIGTERM/SIGINT honoured, or a standby attempt\n"
       "     that committed its chunk) — resume with --resume\n"
       "  5  supervisor gave up (restart budget exhausted)\n");
-  return 0;
+  return billcap::core::kExitSuccess;
 }
 
 }  // namespace
@@ -677,12 +678,12 @@ int main(int argc, char** argv) {
     if (args.command().empty() || args.command() == "help") return cmd_help();
     std::fprintf(stderr, "unknown command '%s' (try: billcap help)\n",
                  args.command().c_str());
-    return 2;
+    return billcap::core::kExitUsage;
   } catch (const util::UsageError& e) {
     std::fprintf(stderr, "usage error: %s (try: billcap help)\n", e.what());
-    return 2;
+    return billcap::core::kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return billcap::core::kExitRuntimeError;
   }
 }

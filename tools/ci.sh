@@ -1,8 +1,9 @@
 #!/bin/sh
-# Local CI gate: the tier-1 suite first, then the robustness suite again
-# under AddressSanitizer + UBSan (fault paths, crash/resume and the
-# journal I/O are exactly the code most likely to hide lifetime or
-# conversion bugs that only a sanitizer sees).
+# Local CI gate: static analysis first (billcap-lint + clang-tidy — the
+# cheapest stage fails fastest), then the tier-1 suite, then the
+# robustness suite again under AddressSanitizer + UBSan (fault paths,
+# crash/resume and the journal I/O are exactly the code most likely to
+# hide lifetime or conversion bugs that only a sanitizer sees).
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -eu
@@ -11,8 +12,15 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== tier 1: full suite, default toolchain =="
+echo "== stage 0: static analysis (billcap-lint + clang-tidy) =="
 cmake -B "$ROOT/$PREFIX" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/$PREFIX" -j "$JOBS" --target billcap-lint
+# --summary prints the per-rule table; a nonzero exit means unsuppressed
+# findings, and the gate stops before any test tier runs.
+"$ROOT/$PREFIX/tools/lint/billcap-lint" --summary "$ROOT/src" "$ROOT/tools"
+sh "$ROOT/tools/run_clang_tidy.sh" "$ROOT/$PREFIX"
+
+echo "== tier 1: full suite, default toolchain =="
 cmake --build "$ROOT/$PREFIX" -j "$JOBS"
 ctest --test-dir "$ROOT/$PREFIX" --output-on-failure -j "$JOBS"
 

@@ -1,0 +1,575 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace billcap::lint {
+
+namespace {
+
+// ---- rule catalogue --------------------------------------------------------
+
+constexpr std::array<RuleInfo, 9> kRules = {{
+    {Rule::kWallClock, "BL001", "wall-clock",
+     "wall-clock time and ambient PRNGs make a resumed month diverge from "
+     "an uninterrupted one"},
+    {Rule::kUnorderedIter, "BL002", "unordered-iter",
+     "unordered container iteration order is unspecified and must never "
+     "feed serialized output"},
+    {Rule::kFloatFormat, "BL003", "float-format",
+     "floating output without explicit precision depends on library "
+     "defaults and silently loses bits"},
+    {Rule::kExitCode, "BL010", "exit-code",
+     "the exit-code protocol lives in core::ExitCode; scattered literals "
+     "drift"},
+    {Rule::kJournalKey, "BL011", "journal-key",
+     "journal keys live in src/core/checkpoint_keys.hpp; a typo'd raw key "
+     "silently drops state on resume"},
+    {Rule::kRawWrite, "BL012", "raw-write",
+     "durable writes must go through the atomic temp+rename path "
+     "(util::Journal / util::CsvWriter)"},
+    {Rule::kCatchAll, "BL020", "catch-all",
+     "a swallowed exception must tag a FailureReason or rethrow; silence "
+     "hides degradation"},
+    {Rule::kTodoIssue, "BL021", "todo-issue",
+     "a TODO/FIXME without an issue reference (#N) is untracked debt"},
+    {Rule::kBareAllow, "BL030", "bare-allow",
+     "every suppression must say why the hazard is sanctioned"},
+}};
+
+bool is_word(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::size_t skip_spaces(std::string_view s, std::size_t pos) {
+  while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  return pos;
+}
+
+// ---- lexing ----------------------------------------------------------------
+
+/// One physical source line, split into the three channels rules care
+/// about. String-literal *contents* are moved to `strings` (delimiters stay
+/// in `code` so call shapes like `.set("` remain visible); comment text is
+/// moved to `comment`.
+struct LineInfo {
+  std::string code;
+  std::string strings;
+  std::string comment;
+};
+
+std::vector<LineInfo> lex(std::string_view text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  std::vector<LineInfo> lines;
+  LineInfo current;
+  State state = State::kCode;
+  std::string raw_end;  // ")delim\"" terminator of an active raw string
+
+  auto end_line = [&] {
+    lines.push_back(std::move(current));
+    current = LineInfo{};
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;  // line comments and sane literals end here
+      }
+      end_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          const bool raw = !current.code.empty() &&
+                           current.code.back() == 'R' &&
+                           (current.code.size() < 2 ||
+                            !is_word(current.code[current.code.size() - 2]));
+          current.code.push_back('"');
+          if (!current.strings.empty()) current.strings.push_back(' ');
+          if (raw) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '\n')
+              delim.push_back(text[j++]);
+            raw_end = ")" + delim + "\"";
+            i = j;  // consume up to and including '('
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          current.code.push_back('\'');
+          state = State::kChar;
+        } else {
+          current.code.push_back(c);
+        }
+        break;
+      }
+      case State::kLineComment:
+        current.comment.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < text.size()) {
+          current.strings.push_back(text[++i]);
+        } else if (c == '"') {
+          current.code.push_back('"');
+          state = State::kCode;
+        } else {
+          current.strings.push_back(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size()) {
+          ++i;
+        } else if (c == '\'') {
+          current.code.push_back('\'');
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && text.compare(i, raw_end.size(), raw_end) == 0) {
+          i += raw_end.size() - 1;
+          current.code.push_back('"');
+          state = State::kCode;
+        } else {
+          current.strings.push_back(c);
+        }
+        break;
+    }
+  }
+  end_line();
+  return lines;
+}
+
+/// Calls `fn(identifier, pos)` for every identifier token in `code`.
+template <typename Fn>
+void for_each_identifier(std::string_view code, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (is_word(code[i]) && !is_digit(code[i])) {
+      std::size_t j = i;
+      while (j < code.size() && is_word(code[j])) ++j;
+      fn(code.substr(i, j - i), i);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool followed_by_call(std::string_view code, std::size_t end_pos) {
+  const std::size_t p = skip_spaces(code, end_pos);
+  return p < code.size() && code[p] == '(';
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+struct Suppressions {
+  /// line (0-based) -> rules allowed on that line.
+  std::vector<std::set<Rule>> allowed;
+  std::vector<Finding> bare_allow_findings;
+};
+
+Suppressions collect_suppressions(std::string_view path,
+                                  const std::vector<LineInfo>& lines) {
+  Suppressions out;
+  out.allowed.resize(lines.size() + 1);
+  constexpr std::string_view kMarker = "billcap-lint:";
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& comment = lines[n].comment;
+    std::size_t at = comment.find(kMarker);
+    if (at == std::string_view::npos) continue;
+    std::size_t pos = comment.find("allow(", at);
+    if (pos == std::string_view::npos) {
+      out.bare_allow_findings.push_back(
+          {std::string(path), n + 1, Rule::kBareAllow,
+           "billcap-lint annotation without an allow(<rule>) clause"});
+      continue;
+    }
+    pos += std::string_view("allow(").size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) continue;
+    const std::string name = comment.substr(pos, close - pos);
+    const RuleInfo* rule = find_rule(name);
+    if (rule == nullptr) {
+      out.bare_allow_findings.push_back(
+          {std::string(path), n + 1, Rule::kBareAllow,
+           "allow(" + name + ") names no billcap-lint rule"});
+      continue;
+    }
+    // The annotation sanctions this line and the one directly below it, so
+    // a whole-line comment can precede the hazard.
+    out.allowed[n].insert(rule->rule);
+    if (n + 1 < out.allowed.size()) out.allowed[n + 1].insert(rule->rule);
+    // Rationale: a ':' after the close paren with real text behind it.
+    const std::size_t colon = skip_spaces(comment, close + 1);
+    const bool has_rationale =
+        colon < comment.size() && comment[colon] == ':' &&
+        skip_spaces(comment, colon + 1) < comment.size();
+    if (!has_rationale)
+      out.bare_allow_findings.push_back(
+          {std::string(path), n + 1, Rule::kBareAllow,
+           "allow(" + name + ") without a rationale — write 'allow(" + name +
+               "): <why this site is sanctioned>'"});
+  }
+  return out;
+}
+
+// ---- per-rule checks -------------------------------------------------------
+
+/// BL001 tokens that are hazardous on sight (type/namespace names).
+constexpr std::string_view kClockTokens[] = {
+    "system_clock", "steady_clock",  "high_resolution_clock",
+    "random_device", "gettimeofday", "clock_gettime",
+    "localtime",     "gmtime",       "localtime_r",
+    "gmtime_r",      "timespec_get",
+};
+
+/// BL001 tokens that are only hazardous as calls (short common words).
+constexpr std::string_view kClockCallTokens[] = {
+    "rand", "srand", "time", "clock", "drand48", "lrand48", "mrand48",
+};
+
+constexpr std::string_view kUnorderedTokens[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+constexpr std::string_view kPrintfTokens[] = {
+    "printf", "fprintf", "sprintf", "snprintf",
+    "vprintf", "vfprintf", "vsnprintf", "dprintf",
+};
+
+constexpr std::string_view kRawWriteCallTokens[] = {"fopen", "freopen"};
+
+constexpr std::string_view kJournalAccessors[] = {
+    "set",          "set_u64",        "set_size", "set_double_bits",
+    "set_double_list", "get",         "get_u64",  "get_size",
+    "get_double_bits", "get_double_list", "has",
+};
+
+template <typename Range>
+bool contains(const Range& range, std::string_view token) {
+  return std::find(std::begin(range), std::end(range), token) !=
+         std::end(range);
+}
+
+void check_wall_clock(std::string_view code, std::vector<std::string>& hits) {
+  for_each_identifier(code, [&](std::string_view tok, std::size_t pos) {
+    if (contains(kClockTokens, tok) ||
+        (contains(kClockCallTokens, tok) &&
+         followed_by_call(code, pos + tok.size())))
+      hits.push_back("call to '" + std::string(tok) +
+                     "' — wall-clock/ambient randomness breaks bitwise "
+                     "resume; use the seeded util::Rng or the simulated "
+                     "hour, or annotate allow(wall-clock)");
+  });
+}
+
+void check_unordered(std::string_view code, std::vector<std::string>& hits) {
+  for_each_identifier(code, [&](std::string_view tok, std::size_t) {
+    if (contains(kUnorderedTokens, tok))
+      hits.push_back("'" + std::string(tok) +
+                     "' — iteration order is unspecified and must not feed "
+                     "serialized output; use std::map/std::set or annotate "
+                     "allow(unordered-iter)");
+  });
+}
+
+/// True when `spec` (the text between '%' and the conversion char,
+/// exclusive) carries an explicit precision.
+void check_float_format(const LineInfo& line, std::vector<std::string>& hits) {
+  bool has_printf = false;
+  for_each_identifier(line.code, [&](std::string_view tok, std::size_t) {
+    has_printf = has_printf || contains(kPrintfTokens, tok);
+  });
+  if (!has_printf) return;
+  const std::string& s = line.strings;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') continue;
+    std::size_t j = i + 1;
+    if (j < s.size() && s[j] == '%') {
+      i = j;
+      continue;
+    }
+    bool has_precision = false;
+    while (j < s.size() &&
+           (is_digit(s[j]) || s[j] == '-' || s[j] == '+' || s[j] == ' ' ||
+            s[j] == '#' || s[j] == '0' || s[j] == '*' || s[j] == '.' ||
+            s[j] == 'h' || s[j] == 'l' || s[j] == 'j' || s[j] == 'z' ||
+            s[j] == 't' || s[j] == 'L')) {
+      has_precision = has_precision || s[j] == '.';
+      ++j;
+    }
+    if (j < s.size() && !has_precision &&
+        (s[j] == 'f' || s[j] == 'F' || s[j] == 'e' || s[j] == 'E' ||
+         s[j] == 'g' || s[j] == 'G' || s[j] == 'a' || s[j] == 'A'))
+      hits.push_back(
+          "float conversion '%" + s.substr(i + 1, j - i) +
+          "' without explicit precision — output depends on library "
+          "defaults; write an explicit '.<N>' or use util::format_double");
+    i = j;
+  }
+}
+
+void check_exit_code(std::string_view code, std::vector<std::string>& hits) {
+  for_each_identifier(code, [&](std::string_view tok, std::size_t pos) {
+    const std::size_t end = pos + tok.size();
+    if (tok == "return") {
+      std::size_t p = skip_spaces(code, end);
+      std::size_t digits = p;
+      while (digits < code.size() && is_digit(code[digits])) ++digits;
+      if (digits == p || digits - p > 3) return;  // exit codes are 0..255
+      const std::size_t after = skip_spaces(code, digits);
+      if (after >= code.size() || code[after] != ';') return;
+      const int value = std::stoi(std::string(code.substr(p, digits - p)));
+      if (value >= 2)
+        hits.push_back("raw exit-code literal " + std::to_string(value) +
+                       " — name it in core::ExitCode "
+                       "(src/core/exit_codes.hpp)");
+    } else if (tok == "exit" || tok == "_exit" || tok == "quick_exit") {
+      std::size_t p = skip_spaces(code, end);
+      if (p >= code.size() || code[p] != '(') return;
+      p = skip_spaces(code, p + 1);
+      std::size_t digits = p;
+      while (digits < code.size() && is_digit(code[digits])) ++digits;
+      if (digits == p) return;
+      const std::size_t after = skip_spaces(code, digits);
+      if (after >= code.size() || code[after] != ')') return;
+      hits.push_back("raw exit-code literal in " + std::string(tok) +
+                     "() — name it in core::ExitCode "
+                     "(src/core/exit_codes.hpp)");
+    }
+  });
+}
+
+void check_journal_key(std::string_view code, std::vector<std::string>& hits) {
+  for_each_identifier(code, [&](std::string_view tok, std::size_t pos) {
+    if (pos == 0 || code[pos - 1] != '.') return;
+    if (!contains(kJournalAccessors, tok)) return;
+    std::size_t p = skip_spaces(code, pos + tok.size());
+    if (p >= code.size() || code[p] != '(') return;
+    p = skip_spaces(code, p + 1);
+    if (p < code.size() && code[p] == '"')
+      hits.push_back("raw string key in ." + std::string(tok) +
+                     "(\"...\") — declare the key in "
+                     "src/core/checkpoint_keys.hpp so reads and writes "
+                     "cannot drift");
+  });
+}
+
+void check_raw_write(std::string_view code, std::vector<std::string>& hits) {
+  for_each_identifier(code, [&](std::string_view tok, std::size_t pos) {
+    if (tok == "ofstream") {
+      hits.push_back(
+          "'ofstream' — raw file write bypasses the atomic temp+rename "
+          "path; use util::Journal::save_atomic / util::CsvWriter, or "
+          "annotate allow(raw-write)");
+    } else if (contains(kRawWriteCallTokens, tok) &&
+               followed_by_call(code, pos + tok.size())) {
+      hits.push_back("call to '" + std::string(tok) +
+                     "' — raw file write bypasses the atomic temp+rename "
+                     "path; use util::Journal::save_atomic / "
+                     "util::CsvWriter, or annotate allow(raw-write)");
+    }
+  });
+}
+
+/// Returns positions of `catch (...)` openings in this line's code.
+bool has_catch_all(std::string_view code) {
+  for (std::size_t pos = code.find("catch"); pos != std::string_view::npos;
+       pos = code.find("catch", pos + 1)) {
+    if (pos > 0 && is_word(code[pos - 1])) continue;
+    if (pos + 5 < code.size() && is_word(code[pos + 5])) continue;
+    std::size_t p = skip_spaces(code, pos + 5);
+    if (p >= code.size() || code[p] != '(') continue;
+    p = skip_spaces(code, p + 1);
+    if (code.compare(p, 3, "...") == 0) return true;
+  }
+  return false;
+}
+
+bool catch_block_handles(const std::vector<LineInfo>& lines,
+                         std::size_t start) {
+  // Look a few lines into the handler for a rethrow or a FailureReason
+  // tag; billcap-lint is a lexer, not a parser, so the window is bounded.
+  constexpr std::size_t kWindow = 8;
+  for (std::size_t n = start; n < lines.size() && n < start + kWindow; ++n) {
+    bool handled = false;
+    for_each_identifier(lines[n].code, [&](std::string_view tok, std::size_t) {
+      handled = handled || tok == "throw" || tok == "FailureReason";
+    });
+    if (handled) return true;
+  }
+  return false;
+}
+
+void check_todo(std::string_view comment, std::vector<std::string>& hits) {
+  const bool todo = comment.find("TODO") != std::string_view::npos ||
+                    comment.find("FIXME") != std::string_view::npos;
+  if (!todo) return;
+  for (std::size_t i = 0; i + 1 < comment.size(); ++i)
+    if (comment[i] == '#' && is_digit(comment[i + 1])) return;
+  hits.push_back(
+      "TODO/FIXME without an issue reference — add '(#<issue>)' or do it "
+      "now");
+}
+
+}  // namespace
+
+// ---- public API ------------------------------------------------------------
+
+const std::array<RuleInfo, 9>& rule_table() { return kRules; }
+
+const RuleInfo& info(Rule rule) {
+  for (const RuleInfo& r : kRules)
+    if (r.rule == rule) return r;
+  return kRules[0];  // unreachable: every enumerator is in the table
+}
+
+const RuleInfo* find_rule(std::string_view name) {
+  for (const RuleInfo& r : kRules)
+    if (name == r.name) return &r;
+  return nullptr;
+}
+
+std::string format_finding(const Finding& finding) {
+  const RuleInfo& r = info(finding.rule);
+  return finding.file + ":" + std::to_string(finding.line) + ": [" + r.id +
+         " " + r.name + "] " + finding.message;
+}
+
+std::vector<Finding> scan_source(std::string_view path,
+                                 std::string_view text) {
+  const std::vector<LineInfo> lines = lex(text);
+  Suppressions suppress = collect_suppressions(path, lines);
+
+  // Applicability is content-based so fixtures behave like real sources:
+  // the exit-code rule guards exit surfaces, the journal-key rule guards
+  // translation units that touch util::Journal directly.
+  const bool exit_surface =
+      text.find("int main(") != std::string_view::npos ||
+      text.find("core/supervisor.hpp") != std::string_view::npos ||
+      text.find("core/exit_codes.hpp") != std::string_view::npos;
+  const bool journal_user =
+      text.find("util/journal.hpp") != std::string_view::npos;
+
+  std::vector<Finding> findings;
+  const auto emit = [&](std::size_t n, Rule rule,
+                        std::vector<std::string>& hits) {
+    if (!suppress.allowed[n].count(rule))
+      for (std::string& hit : hits)
+        findings.push_back({std::string(path), n + 1, rule, std::move(hit)});
+    hits.clear();
+  };
+
+  std::vector<std::string> hits;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const LineInfo& line = lines[n];
+    check_wall_clock(line.code, hits);
+    emit(n, Rule::kWallClock, hits);
+    check_unordered(line.code, hits);
+    emit(n, Rule::kUnorderedIter, hits);
+    check_float_format(line, hits);
+    emit(n, Rule::kFloatFormat, hits);
+    if (exit_surface) {
+      check_exit_code(line.code, hits);
+      emit(n, Rule::kExitCode, hits);
+    }
+    if (journal_user) {
+      check_journal_key(line.code, hits);
+      emit(n, Rule::kJournalKey, hits);
+    }
+    check_raw_write(line.code, hits);
+    emit(n, Rule::kRawWrite, hits);
+    if (has_catch_all(line.code) && !catch_block_handles(lines, n)) {
+      hits.push_back(
+          "catch (...) swallows without tagging a FailureReason or "
+          "rethrowing; tag the degradation or annotate allow(catch-all)");
+      emit(n, Rule::kCatchAll, hits);
+    }
+    check_todo(line.comment, hits);
+    emit(n, Rule::kTodoIssue, hits);
+  }
+
+  for (Finding& f : suppress.bare_allow_findings)
+    findings.push_back(std::move(f));
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line
+                                      : info(a.rule).id < info(b.rule).id;
+            });
+  return findings;
+}
+
+std::vector<Finding> scan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("billcap-lint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return scan_source(path, buffer.str());
+}
+
+bool is_scannable(std::string_view path) {
+  for (std::string_view ext : {".cpp", ".cc", ".hpp", ".h"})
+    if (path.size() > ext.size() &&
+        path.compare(path.size() - ext.size(), ext.size(), ext) == 0)
+      return true;
+  return false;
+}
+
+std::vector<std::string> collect_sources(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const fs::path p(root);
+  if (fs::is_regular_file(p)) {
+    if (is_scannable(root)) files.push_back(root);
+    return files;
+  }
+  if (!fs::is_directory(p))
+    throw std::runtime_error("billcap-lint: no such file or directory: " +
+                             root);
+  for (const auto& entry : fs::recursive_directory_iterator(p))
+    if (entry.is_regular_file() && is_scannable(entry.path().string()))
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::map<std::string, std::size_t> summarize(
+    const std::vector<Finding>& all) {
+  std::map<std::string, std::size_t> counts;
+  for (const RuleInfo& r : kRules) counts[r.id] = 0;
+  for (const Finding& f : all) ++counts[info(f.rule).id];
+  return counts;
+}
+
+}  // namespace billcap::lint

@@ -1,0 +1,87 @@
+#pragma once
+
+// billcap-lint — a fast, dependency-free static-analysis pass for the
+// bill-capping controller. It does not parse C++; it lexes each source
+// file just far enough to separate code, string-literal contents and
+// comments, then runs a fixed catalogue of determinism / protocol /
+// robustness rules over the result. The point is not generality — it is
+// that the invariant behind every bitwise-resume test (a resumed month is
+// byte-identical to an uninterrupted one) is enforced by a machine, not a
+// review habit.
+//
+// Suppression syntax, checked in-source — for example:
+//
+//   // billcap-lint: allow(wall-clock): solver deadline timing, never output
+//
+// on the offending line, or on its own line immediately above. An allow
+// without a rationale (or naming an unknown rule) is itself a finding
+// (BL030), so every sanctioned hazard carries its justification.
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace billcap::lint {
+
+/// Rule catalogue. IDs are stable; tests and suppressions key on names.
+enum class Rule {
+  kWallClock,      ///< BL001: wall-clock / ambient PRNG in controller code
+  kUnorderedIter,  ///< BL002: unordered container (iteration order leaks)
+  kFloatFormat,    ///< BL003: %f/%e/%g without an explicit precision
+  kExitCode,       ///< BL010: raw exit-code integer literal
+  kJournalKey,     ///< BL011: raw string key at a Journal call site
+  kRawWrite,       ///< BL012: ofstream/fopen bypassing the atomic journal
+  kCatchAll,       ///< BL020: catch (...) that swallows silently
+  kTodoIssue,      ///< BL021: to-do marker without an issue reference
+  kBareAllow,      ///< BL030: allow annotation without a rationale
+};
+
+struct RuleInfo {
+  Rule rule;
+  const char* id;         ///< "BL001"
+  const char* name;       ///< "wall-clock" (suppression key)
+  const char* rationale;  ///< one line: why the pattern is banned
+};
+
+/// All rules, in report order.
+const std::array<RuleInfo, 9>& rule_table();
+
+/// Info for a rule; never fails (the enum is the index).
+const RuleInfo& info(Rule rule);
+
+/// Rule for a suppression name, or nullptr when unknown.
+const RuleInfo* find_rule(std::string_view name);
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  Rule rule = Rule::kWallClock;
+  std::string message;
+};
+
+/// "file:line: [BL001 wall-clock] message" — clickable in editors/CI logs.
+std::string format_finding(const Finding& finding);
+
+/// Scans one translation unit's text. `path` is used for reporting and for
+/// nothing else — every applicability decision is content-based, so
+/// fixture files behave exactly like real sources.
+std::vector<Finding> scan_source(std::string_view path, std::string_view text);
+
+/// Loads and scans a file. Throws std::runtime_error when unreadable.
+std::vector<Finding> scan_file(const std::string& path);
+
+/// True for the extensions billcap-lint understands (.cpp .cc .hpp .h).
+bool is_scannable(std::string_view path);
+
+/// Recursively collects scannable files under `root` (or `root` itself when
+/// it is a file), sorted so output and summaries are deterministic.
+std::vector<std::string> collect_sources(const std::string& root);
+
+/// Per-rule finding counts keyed by rule ID, including zero rows for rules
+/// that did not fire (the CI summary table prints every rule).
+std::map<std::string, std::size_t> summarize(const std::vector<Finding>& all);
+
+}  // namespace billcap::lint

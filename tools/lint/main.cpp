@@ -1,0 +1,115 @@
+// billcap-lint — project-specific static analysis for the bill-capping
+// controller (see lint.hpp for the rule catalogue and rationale).
+//
+//   billcap-lint [--summary] [--expect <rule-name>] [--list-rules] PATH...
+//
+// PATH arguments are files or directories (recursed for .cpp/.cc/.hpp/.h).
+// Default mode prints every unsuppressed finding as "file:line: [ID name]
+// message" and fails when any exists. --expect <rule-name> is fixture
+// mode: succeed only when at least one finding fired and every finding is
+// the named rule. --summary appends a per-rule count table.
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using namespace billcap::lint;
+
+// The lint tool's own exit protocol (it is a dev tool, not a controller,
+// so it does not share core::ExitCode).
+constexpr int kCleanExit = 0;
+constexpr int kFindingsExit = 1;
+constexpr int kUsageExit = 2;
+
+int list_rules() {
+  std::printf("%-7s %-15s %s\n", "id", "name", "rationale");
+  for (const RuleInfo& r : rule_table())
+    std::printf("%-7s %-15s %s\n", r.id, r.name, r.rationale);
+  return kCleanExit;
+}
+
+void print_summary(const std::vector<Finding>& findings,
+                   std::size_t files_scanned) {
+  std::printf("\nbillcap-lint summary (%zu files scanned)\n", files_scanned);
+  std::printf("  %-7s %-15s %s\n", "rule", "name", "findings");
+  const auto counts = summarize(findings);
+  for (const RuleInfo& r : rule_table())
+    std::printf("  %-7s %-15s %zu\n", r.id, r.name, counts.at(r.id));
+  std::printf("  total unsuppressed findings: %zu\n", findings.size());
+}
+
+int usage(const char* error) {
+  std::fprintf(stderr,
+               "billcap-lint: %s\n"
+               "usage: billcap-lint [--summary] [--expect <rule-name>] "
+               "[--list-rules] PATH...\n",
+               error);
+  return kUsageExit;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool summary = false;
+  std::string expect;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--list-rules") {
+      return list_rules();
+    } else if (arg == "--expect") {
+      if (i + 1 >= argc) return usage("--expect needs a rule name");
+      expect = argv[++i];
+      if (find_rule(expect) == nullptr)
+        return usage(("unknown rule '" + expect + "'").c_str());
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(("unknown flag '" + arg + "'").c_str());
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage("no paths given");
+
+  try {
+    std::vector<Finding> findings;
+    std::size_t files_scanned = 0;
+    for (const std::string& root : roots) {
+      for (const std::string& file : collect_sources(root)) {
+        ++files_scanned;
+        for (Finding& f : scan_file(file)) findings.push_back(std::move(f));
+      }
+    }
+    for (const Finding& f : findings)
+      std::printf("%s\n", format_finding(f).c_str());
+    if (summary) print_summary(findings, files_scanned);
+
+    if (!expect.empty()) {
+      // Fixture mode: the file must trigger its intended rule and nothing
+      // else, so golden fixtures pin each rule exactly.
+      const RuleInfo* want = find_rule(expect);
+      if (findings.empty()) {
+        std::fprintf(stderr, "billcap-lint: expected at least one %s (%s)\n",
+                     want->id, want->name);
+        return kFindingsExit;
+      }
+      for (const Finding& f : findings)
+        if (f.rule != want->rule) {
+          std::fprintf(stderr, "billcap-lint: expected only %s, got %s\n",
+                       want->id, info(f.rule).id);
+          return kFindingsExit;
+        }
+      return kCleanExit;
+    }
+    return findings.empty() ? kCleanExit : kFindingsExit;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "billcap-lint: %s\n", e.what());
+    return kUsageExit;
+  }
+}

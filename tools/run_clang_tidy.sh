@@ -1,0 +1,44 @@
+#!/bin/sh
+# clang-tidy stage of the static-analysis gate: runs the curated
+# .clang-tidy check set over every first-party translation unit in
+# compile_commands.json. Gated on availability — the container toolchain
+# may ship gcc only, and the gate must not invent a dependency — so a
+# missing clang-tidy skips with a notice instead of failing.
+#
+# Usage: tools/run_clang_tidy.sh <build-dir>
+set -eu
+
+BUILD="${1:?usage: run_clang_tidy.sh <build-dir>}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "clang-tidy: not installed; stage skipped (billcap-lint still gates)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "clang-tidy: $BUILD/compile_commands.json missing — configure with" \
+       "CMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists does)" >&2
+  exit 1
+fi
+
+# First-party sources only: src/ and tools/ (tests and benches are gated
+# by their own suites; fixtures are intentionally bad code).
+FILES="$(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)"
+STATUS=0
+for f in $FILES; do
+  "$TIDY" -p "$BUILD" --quiet "$f" || STATUS=1
+done
+if [ "$STATUS" -ne 0 ]; then
+  echo "clang-tidy: findings above must be fixed or NOLINT'ed with a reason"
+  exit 1
+fi
+echo "clang-tidy: clean ($(echo "$FILES" | wc -l) files)"
