@@ -242,7 +242,7 @@ int main() {
       if (outcome.crashed) return 9;  // SIGKILL'd, straight from waitpid
       return outcome.stopped ? core::kExitStopped << 8 : 0;
 #else
-      if (outcome.crashed) return 1;
+      if (outcome.crashed) return core::kExitRuntimeError;
       return outcome.stopped ? core::kExitStopped : 0;
 #endif
     };
@@ -291,5 +291,7 @@ int main() {
   bench::save_csv(storm_csv, "resilience_supervised_storms");
   std::printf("[check] every supervised kill-storm month completed: %s\n",
               supervised_all_complete ? "yes" : "NO");
-  return (backoff_strictly_better && supervised_all_complete) ? 0 : 1;
+  return (backoff_strictly_better && supervised_all_complete)
+             ? billcap::core::kExitSuccess
+             : billcap::core::kExitRuntimeError;
 }

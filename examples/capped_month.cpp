@@ -14,6 +14,7 @@
 #include <exception>
 #include <iostream>
 
+#include "core/exit_codes.hpp"
 #include "core/simulator.hpp"
 #include "util/calendar.hpp"
 #include "util/table.hpp"
@@ -69,7 +70,7 @@ int run(int argc, char** argv) {
       r.total_cost, r.monthly_budget, 100.0 * r.budget_utilization(),
       100.0 * r.premium_throughput_ratio(),
       100.0 * r.ordinary_throughput_ratio(), r.max_solve_ms);
-  return 0;
+  return billcap::core::kExitSuccess;
 }
 
 int main(int argc, char** argv) {
@@ -77,6 +78,6 @@ int main(int argc, char** argv) {
     return run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return billcap::core::kExitRuntimeError;
   }
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/cost_minimizer.hpp"
+#include "core/exit_codes.hpp"
 #include "core/cost_model.hpp"
 #include "datacenter/heterogeneous.hpp"
 #include "market/pricing_policy.hpp"
@@ -78,7 +79,7 @@ int run() {
       core::minimize_cost_over_models(models, lambda);
   if (!r.ok()) {
     std::printf("allocation failed: %s\n", lp::to_string(r.status));
-    return 1;
+    return billcap::core::kExitRuntimeError;
   }
   util::Table alloc({"site", "Greq/h", "believed power MW", "exact power MW",
                      "believed cost $"});
@@ -92,7 +93,7 @@ int run() {
   alloc.print(std::cout);
   std::printf("\ntotal believed cost: $%.0f/h for %.0f Greq/h\n",
               r.predicted_cost, lambda / 1e9);
-  return 0;
+  return billcap::core::kExitSuccess;
 }
 
 int main() {
@@ -100,6 +101,6 @@ int main() {
     return run();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return billcap::core::kExitRuntimeError;
   }
 }

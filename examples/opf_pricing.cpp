@@ -15,6 +15,7 @@
 #include <exception>
 #include <iostream>
 
+#include "core/exit_codes.hpp"
 #include "market/dcopf.hpp"
 #include "market/pjm5.hpp"
 #include "market/policy_derivation.hpp"
@@ -63,7 +64,7 @@ int run(int argc, char** argv) {
   std::printf("\nThese derived step curves are the mechanism behind the "
               "canonical Policy 1\nthe evaluation uses "
               "(market::paper_policies).\n");
-  return 0;
+  return billcap::core::kExitSuccess;
 }
 
 int main(int argc, char** argv) {
@@ -71,6 +72,6 @@ int main(int argc, char** argv) {
     return run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return billcap::core::kExitRuntimeError;
   }
 }

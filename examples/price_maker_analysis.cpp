@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/cost_minimizer.hpp"
+#include "core/exit_codes.hpp"
 #include "core/cost_model.hpp"
 #include "core/formulation.hpp"
 #include "datacenter/catalog.hpp"
@@ -77,7 +78,7 @@ int run() {
   std::printf("\nSame workload, same physics — the taker's allocation is "
               "blind to the steps\nit triggers and pays for it at billing "
               "time.\n");
-  return 0;
+  return billcap::core::kExitSuccess;
 }
 
 int main() {
@@ -85,6 +86,6 @@ int main() {
     return run();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return billcap::core::kExitRuntimeError;
   }
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/bill_capper.hpp"
+#include "core/exit_codes.hpp"
 #include "core/cost_model.hpp"
 #include "datacenter/catalog.hpp"
 #include "market/pricing_policy.hpp"
@@ -67,7 +68,7 @@ int run() {
   report("Ample budget: pure cost minimization", 10'000.0);
   report("Tight budget: ordinary traffic throttled", 1'200.0);
   report("Punishing budget: premium-only fallback", 300.0);
-  return 0;
+  return billcap::core::kExitSuccess;
 }
 
 int main() {
@@ -75,6 +76,6 @@ int main() {
     return run();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return billcap::core::kExitRuntimeError;
   }
 }

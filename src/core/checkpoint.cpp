@@ -191,6 +191,18 @@ std::uint64_t checkpoint_digest(const SimulationConfig& config,
   }
   d.mix_size(plan.checkpoint_corruptions.size());
   for (const auto& c : plan.checkpoint_corruptions) d.mix_size(c.hour);
+  d.mix_size(plan.flash_crowds.size());
+  for (const auto& f : plan.flash_crowds) {
+    d.mix_size(f.start_hour);
+    d.mix_size(f.duration_hours);
+    d.mix_double(f.multiplier);
+  }
+  d.mix_size(plan.feed_bursts.size());
+  for (const auto& b : plan.feed_bursts) {
+    d.mix_size(b.start_hour);
+    d.mix_size(b.duration_hours);
+    d.mix_size(b.updates_per_tick);
+  }
 
   d.mix_double(config.fault_rates.outage_rate);
   d.mix_size(config.fault_rates.outage_mean_hours);

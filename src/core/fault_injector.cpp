@@ -63,6 +63,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_sites,
   down_.assign(num_sites_ * horizon_, 0);
   multiplier_.assign(num_sites_ * horizon_, 1.0);
   deadline_ms_.assign(horizon_, 0.0);
+  arrival_mult_.assign(horizon_, 1.0);
+  burst_updates_.assign(horizon_, 0);
   observed_hour_.resize(horizon_);
   for (std::size_t h = 0; h < horizon_; ++h) observed_hour_[h] = h;
 
@@ -90,6 +92,17 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_sites,
     for (std::size_t h = stale.start_hour;
          h < clip_end(stale.start_hour, stale.duration_hours); ++h)
       observed_hour_[h] = std::min(observed_hour_[h], seen);
+  }
+  for (const auto& crowd : plan.flash_crowds) {
+    if (crowd.multiplier <= 0.0) continue;
+    for (std::size_t h = crowd.start_hour;
+         h < clip_end(crowd.start_hour, crowd.duration_hours); ++h)
+      arrival_mult_[h] *= crowd.multiplier;
+  }
+  for (const auto& burst : plan.feed_bursts) {
+    for (std::size_t h = burst.start_hour;
+         h < clip_end(burst.start_hour, burst.duration_hours); ++h)
+      burst_updates_[h] += burst.updates_per_tick;
   }
   for (const auto& squeeze : plan.deadline_squeezes) {
     if (squeeze.time_limit_ms <= 0.0) continue;
@@ -134,6 +147,16 @@ double FaultInjector::demand_multiplier(std::size_t site,
 double FaultInjector::solver_deadline_ms(std::size_t hour) const noexcept {
   if (!enabled_ || hour >= horizon_) return 0.0;
   return deadline_ms_[hour];
+}
+
+double FaultInjector::arrival_multiplier(std::size_t hour) const noexcept {
+  if (!enabled_ || hour >= horizon_) return 1.0;
+  return arrival_mult_[hour];
+}
+
+std::size_t FaultInjector::feed_burst_updates(std::size_t hour) const noexcept {
+  if (!enabled_ || hour >= horizon_) return 0;
+  return burst_updates_[hour];
 }
 
 }  // namespace billcap::core

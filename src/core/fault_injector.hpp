@@ -68,6 +68,27 @@ struct FaultPlan {
     std::size_t count = 0;
   };
 
+  /// A flash crowd: interactive arrivals across the whole fleet are
+  /// multiplied for the interval (a viral event, not a single-site surge —
+  /// contrast DemandShock, which scales one site's *background* demand).
+  /// Consumed by the serve-mode ingest plane, which scales per-tick request
+  /// arrivals; the hourly batch loop ignores it.
+  struct FlashCrowd {
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    double multiplier = 1.0;
+  };
+
+  /// A feed burst: the market feed emits `updates_per_tick` mid-hour price
+  /// revisions every serve tick of the interval (normally it emits at hour
+  /// boundaries only). Stresses the bounded FeedUpdateQueue and the re-plan
+  /// circuit breaker; the hourly batch loop ignores it.
+  struct FeedBurst {
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    std::size_t updates_per_tick = 0;
+  };
+
   /// The newest checkpoint generation is corrupted (bit rot, torn device
   /// write below the filesystem) right after hour `hour` commits, and the
   /// controller dies. A resume must fall back to an older generation and
@@ -84,12 +105,15 @@ struct FaultPlan {
   std::vector<ControllerCrash> crashes;
   std::vector<ExitStorm> exit_storms;
   std::vector<CheckpointCorruption> checkpoint_corruptions;
+  std::vector<FlashCrowd> flash_crowds;
+  std::vector<FeedBurst> feed_bursts;
 
   bool empty() const noexcept {
     return outages.empty() && stale_intervals.empty() &&
            demand_shocks.empty() && deadline_squeezes.empty() &&
            crashes.empty() && exit_storms.empty() &&
-           checkpoint_corruptions.empty();
+           checkpoint_corruptions.empty() && flash_crowds.empty() &&
+           feed_bursts.empty();
   }
 };
 
@@ -149,6 +173,14 @@ class FaultInjector {
   /// several squeezes overlap, the tightest wins.
   double solver_deadline_ms(std::size_t hour) const noexcept;
 
+  /// Fleet-wide interactive-arrival multiplier for the hour (flash crowds;
+  /// overlapping crowds compound). 1.0 when calm.
+  double arrival_multiplier(std::size_t hour) const noexcept;
+
+  /// Mid-hour price revisions the feed emits per serve tick this hour
+  /// (feed bursts; overlapping bursts add). 0 when calm.
+  std::size_t feed_burst_updates(std::size_t hour) const noexcept;
+
  private:
   bool enabled_ = false;
   std::size_t num_sites_ = 0;
@@ -157,6 +189,8 @@ class FaultInjector {
   std::vector<std::size_t> observed_hour_;  // [hour]
   std::vector<double> multiplier_;          // [site * horizon + hour]
   std::vector<double> deadline_ms_;         // [hour]
+  std::vector<double> arrival_mult_;        // [hour]
+  std::vector<std::size_t> burst_updates_;  // [hour]
 };
 
 }  // namespace billcap::core

@@ -167,6 +167,10 @@ Simulator::Simulator(SimulationConfig config)
     plan_.exit_storms = explicit_plan.exit_storms;
   if (!explicit_plan.checkpoint_corruptions.empty())
     plan_.checkpoint_corruptions = explicit_plan.checkpoint_corruptions;
+  if (!explicit_plan.flash_crowds.empty())
+    plan_.flash_crowds = explicit_plan.flash_crowds;
+  if (!explicit_plan.feed_bursts.empty())
+    plan_.feed_bursts = explicit_plan.feed_bursts;
   if (!plan_.empty())
     injector_ = FaultInjector(plan_, sites_.size(), evaluation_.hours());
 }
@@ -636,9 +640,14 @@ Simulator::ResumableOutcome Simulator::run_resumable(
     st.partial.crash_recoveries = st.crashes_fired + st.storms_fired;
 
     accumulate(st.partial, std::move(rec));
+    // The observer (the CLI's streamed CSV row) runs BEFORE the hour's
+    // checkpoint commits: an asynchronous kill between the two leaves an
+    // extra row for an uncommitted hour, which the resume's
+    // truncate-to-checkpoint pass recomputes and rewrites identically.
+    // The opposite order would strand the CSV one committed row short.
+    if (on_hour) on_hour(st.partial.hours.back());
     save(st);
     ++committed_this_attempt;
-    if (on_hour) on_hour(st.partial.hours.back());
 
     if (corrupt_now) {
       corrupt_file(checkpoint_path);

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/checkpoint.hpp"
+#include "core/checkpoint_keys.hpp"
 #include "util/journal.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -235,12 +236,23 @@ std::size_t probe_checkpoint_hour(const std::string& checkpoint_path,
                                   std::size_t keep_generations) noexcept {
   const std::size_t gens = keep_generations == 0 ? 1 : keep_generations;
   for (std::size_t g = 0; g < gens; ++g) {
+    const std::string path =
+        util::Journal::generation_path(checkpoint_path, g);
     try {
-      return load_checkpoint(
-                 util::Journal::generation_path(checkpoint_path, g))
-          .next_hour;
+      return load_checkpoint(path).next_hour;
       // A noexcept probe by contract: the child that wrote a bad file
       // already tagged its own FailureReason, so swallowing here is safe.
+      // billcap-lint: allow(catch-all): fall back to the serve probe
+    } catch (...) {
+      // Not a batch checkpoint — it may be a serve-daemon one.
+    }
+    try {
+      // The serving daemon checkpoints per tick under its own magic. The
+      // restart policy only compares probe deltas, so tick progress is as
+      // good a monotone counter as hour progress.
+      const util::Journal j = util::Journal::load(
+          path, keys::kServeCheckpointMagic, keys::kServeCheckpointVersion);
+      return j.get_size(keys::kServeNextTick);
       // billcap-lint: allow(catch-all): fall back to the older generation
     } catch (...) {
       // Missing or corrupted generation: fall back to the next one.

@@ -1,0 +1,70 @@
+#include "serve/admission.hpp"
+
+#include <stdexcept>
+
+namespace billcap::serve {
+
+const char* to_string(AdmissionLevel level) noexcept {
+  switch (level) {
+    case AdmissionLevel::kAdmitAll: return "admit-all";
+    case AdmissionLevel::kShedOrdinary: return "shed-ordinary";
+    case AdmissionLevel::kPremiumOnly: return "premium-only";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         bool pin_premium_only)
+    : config_(config), pinned_(pin_premium_only) {
+  if (config_.shed_exit_fill >= config_.shed_enter_fill ||
+      config_.standby_exit_fill >= config_.standby_enter_fill)
+    throw std::invalid_argument(
+        "AdmissionController: exit thresholds must sit below enter "
+        "thresholds (hysteresis)");
+  if (pinned_) level_ = AdmissionLevel::kPremiumOnly;
+}
+
+AdmissionLevel AdmissionController::update(
+    const AdmissionInputs& inputs) noexcept {
+  if (pinned_) return level_;
+
+  // The rung the pressure alone calls for. Premium pressure (or ordinary
+  // pressure with the re-plan path broken) demands the standby rung;
+  // ordinary pressure or an unreliable plan demands shedding.
+  AdmissionLevel demanded = AdmissionLevel::kAdmitAll;
+  const bool stale = inputs.plan_stale_ticks > config_.stale_ticks_tolerated;
+  if (inputs.ordinary_fill >= config_.shed_enter_fill || stale ||
+      inputs.breaker_open)
+    demanded = AdmissionLevel::kShedOrdinary;
+  if (inputs.premium_fill >= config_.standby_enter_fill ||
+      (inputs.breaker_open &&
+       inputs.ordinary_fill >= config_.standby_enter_fill))
+    demanded = AdmissionLevel::kPremiumOnly;
+
+  // Escalation is immediate.
+  if (demanded > level_) {
+    level_ = demanded;
+    return level_;
+  }
+
+  // De-escalation: one rung per tick, and only once the *exit* threshold
+  // clears (hysteresis keeps the ladder from flapping around one value).
+  if (level_ == AdmissionLevel::kPremiumOnly &&
+      demanded < AdmissionLevel::kPremiumOnly &&
+      inputs.premium_fill <= config_.standby_exit_fill) {
+    level_ = AdmissionLevel::kShedOrdinary;
+    return level_;
+  }
+  if (level_ == AdmissionLevel::kShedOrdinary &&
+      demanded == AdmissionLevel::kAdmitAll &&
+      inputs.ordinary_fill <= config_.shed_exit_fill) {
+    level_ = AdmissionLevel::kAdmitAll;
+  }
+  return level_;
+}
+
+void AdmissionController::restore(AdmissionLevel level) noexcept {
+  level_ = pinned_ ? AdmissionLevel::kPremiumOnly : level;
+}
+
+}  // namespace billcap::serve

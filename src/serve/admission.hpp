@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+
+namespace billcap::serve {
+
+/// The deterministic degradation ladder, cheapest casualty first:
+/// everything -> shed ordinary (water-filling) -> premium-only standby.
+enum class AdmissionLevel {
+  kAdmitAll = 0,      ///< serve both classes to plan capacity
+  kShedOrdinary = 1,  ///< ordinary throttled by greedy water-filling
+  kPremiumOnly = 2,   ///< the PR-3 standby chunk: premium only, no MILP
+};
+const char* to_string(AdmissionLevel level) noexcept;
+
+/// Ladder thresholds. Enter/exit pairs are deliberately far apart
+/// (hysteresis): a queue hovering at one threshold must not flap the
+/// ladder every tick.
+struct AdmissionConfig {
+  double shed_enter_fill = 0.70;  ///< ordinary fill that starts shedding
+  double shed_exit_fill = 0.30;   ///< ordinary fill that ends it
+  double standby_enter_fill = 0.95;  ///< premium fill that forces standby
+  double standby_exit_fill = 0.50;   ///< premium fill that releases it
+  /// Re-plan staleness (ticks since the active plan was adopted) tolerated
+  /// before the ladder treats the plan as unreliable and sheds.
+  std::size_t stale_ticks_tolerated = 12;
+};
+
+/// The pressure signals one tick feeds the ladder.
+struct AdmissionInputs {
+  double premium_fill = 0.0;   ///< premium queue depth / capacity
+  double ordinary_fill = 0.0;  ///< ordinary queue depth / capacity
+  std::size_t plan_stale_ticks = 0;
+  bool breaker_open = false;  ///< re-plan breaker not closed
+};
+
+/// The admission controller: maps queue depth and re-plan staleness onto
+/// the degradation ladder. Escalation is immediate (overload waits for no
+/// one); de-escalation is hysteretic and one rung per tick, so recovery is
+/// gradual and the ladder never oscillates. Purely arithmetic — no clocks,
+/// no randomness — so a resumed serve loop re-derives the identical
+/// ladder trajectory.
+class AdmissionController {
+ public:
+  /// `pin_premium_only` is the supervisor's standby escalation: the ladder
+  /// is fixed at kPremiumOnly regardless of pressure.
+  explicit AdmissionController(AdmissionConfig config,
+                               bool pin_premium_only = false);
+
+  AdmissionLevel level() const noexcept { return level_; }
+
+  /// Feeds one tick's pressure; returns the (possibly new) level.
+  AdmissionLevel update(const AdmissionInputs& inputs) noexcept;
+
+  /// Checkpoint support.
+  void restore(AdmissionLevel level) noexcept;
+
+ private:
+  AdmissionConfig config_;
+  bool pinned_ = false;
+  AdmissionLevel level_ = AdmissionLevel::kAdmitAll;
+};
+
+}  // namespace billcap::serve

@@ -1,0 +1,85 @@
+#include "serve/ingest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace billcap::serve {
+
+BoundedQueue::BoundedQueue(double capacity) : capacity_(capacity) {
+  if (!(capacity > 0.0))
+    throw std::invalid_argument("BoundedQueue: capacity must be > 0");
+}
+
+double BoundedQueue::offer(double amount) noexcept {
+  if (amount <= 0.0) return 0.0;
+  const double accepted = std::min(amount, capacity_ - depth_);
+  depth_ += accepted;
+  dropped_ += amount - accepted;
+  return accepted;
+}
+
+double BoundedQueue::take(double amount) noexcept {
+  if (amount <= 0.0) return 0.0;
+  const double taken = std::min(amount, depth_);
+  depth_ -= taken;
+  return taken;
+}
+
+void BoundedQueue::restore(double depth, double dropped) noexcept {
+  depth_ = std::clamp(depth, 0.0, capacity_);
+  dropped_ = std::max(dropped, 0.0);
+}
+
+RequestFeed::RequestFeed(const workload::Trace& trace,
+                         const core::FaultInjector& injector,
+                         double premium_share, std::size_t ticks_per_hour)
+    : trace_(trace),
+      injector_(injector),
+      split_(premium_share),
+      ticks_per_hour_(ticks_per_hour) {
+  if (ticks_per_hour == 0)
+    throw std::invalid_argument("RequestFeed: ticks_per_hour must be >= 1");
+}
+
+RequestFeed::TickArrivals RequestFeed::at(std::size_t tick) const {
+  const std::size_t hour = tick / ticks_per_hour_;
+  const double crowd = injector_.arrival_multiplier(hour);
+  const double per_tick = trace_.at(hour) * crowd /
+                          static_cast<double>(ticks_per_hour_);
+  TickArrivals arrivals;
+  arrivals.premium = split_.premium(per_tick);
+  arrivals.ordinary = split_.ordinary(per_tick);
+  arrivals.crowd_multiplier = crowd;
+  return arrivals;
+}
+
+double RequestFeed::mean_tick_arrivals() const noexcept {
+  return trace_.mean() / static_cast<double>(ticks_per_hour_);
+}
+
+FeedUpdateQueue::FeedUpdateQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("FeedUpdateQueue: capacity must be >= 1");
+}
+
+void FeedUpdateQueue::push(std::size_t count) noexcept {
+  seen_ += count;
+  const std::size_t accepted = std::min(count, capacity_ - pending_);
+  pending_ += accepted;
+  dropped_ += count - accepted;
+}
+
+std::size_t FeedUpdateQueue::drain(std::size_t max_count) noexcept {
+  const std::size_t taken = std::min(max_count, pending_);
+  pending_ -= taken;
+  return taken;
+}
+
+void FeedUpdateQueue::restore(std::size_t pending, std::size_t seen,
+                              std::size_t dropped) noexcept {
+  pending_ = std::min(pending, capacity_);
+  seen_ = seen;
+  dropped_ = dropped;
+}
+
+}  // namespace billcap::serve

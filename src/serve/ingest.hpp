@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/fault_injector.hpp"
+#include "workload/trace.hpp"
+
+namespace billcap::serve {
+
+/// A bounded accumulator of request mass (requests, not request objects —
+/// arrival rates here are ~1e11/h, so queues account load as doubles). The
+/// capacity is a hard ceiling: offer() accepts what fits and counts the
+/// rest as dropped, so the ingest plane can never grow without bound no
+/// matter how violent the flash crowd. Backpressure is the drop counter —
+/// the admission ladder reads fill() and sheds before drops ever reach the
+/// premium class.
+class BoundedQueue {
+ public:
+  /// `capacity` must be > 0 (a zero-capacity queue would silently drop
+  /// everything, which is a configuration bug, not a policy).
+  explicit BoundedQueue(double capacity);
+
+  double capacity() const noexcept { return capacity_; }
+  double depth() const noexcept { return depth_; }
+  /// depth / capacity in [0, 1]; the admission ladder's pressure signal.
+  double fill() const noexcept { return depth_ / capacity_; }
+
+  /// Offers `amount` of request mass; returns how much was accepted. The
+  /// remainder is added to the drop counter (never negative input).
+  double offer(double amount) noexcept;
+
+  /// Takes up to `amount` from the queue; returns how much came out.
+  double take(double amount) noexcept;
+
+  /// Total mass dropped at the door since construction / restore.
+  double dropped() const noexcept { return dropped_; }
+
+  /// Checkpoint support: overwrite the mutable state.
+  void restore(double depth, double dropped) noexcept;
+
+ private:
+  double capacity_ = 0.0;
+  double depth_ = 0.0;
+  double dropped_ = 0.0;
+};
+
+/// Batches the synthetic wiki trace into sub-hour ticks: hour `h`'s
+/// arrivals are spread uniformly over the hour's ticks and scaled by the
+/// fault injector's flash-crowd multiplier. Deterministic in (trace,
+/// plan): the same tick always offers the same mass.
+class RequestFeed {
+ public:
+  /// References must outlive the feed (the Simulator owns both).
+  RequestFeed(const workload::Trace& trace,
+              const core::FaultInjector& injector, double premium_share,
+              std::size_t ticks_per_hour);
+
+  struct TickArrivals {
+    double premium = 0.0;
+    double ordinary = 0.0;
+    double crowd_multiplier = 1.0;  ///< active flash-crowd scaling
+  };
+
+  /// Arrivals offered during tick `tick` (global tick index).
+  TickArrivals at(std::size_t tick) const;
+
+  std::size_t ticks_per_hour() const noexcept { return ticks_per_hour_; }
+
+  /// Crowd-free mean arrivals per tick over the trace — the yardstick the
+  /// serve loop sizes its queues against.
+  double mean_tick_arrivals() const noexcept;
+
+ private:
+  const workload::Trace& trace_;
+  const core::FaultInjector& injector_;
+  workload::PremiumSplit split_;
+  std::size_t ticks_per_hour_;
+};
+
+/// A bounded queue of pending mid-hour price revisions. Revisions are
+/// homogeneous "re-observe the market now" signals, so the queue stores a
+/// coalesced count rather than payloads; overflow beyond the capacity is
+/// dropped (and counted) instead of buffered — a feed burst can saturate
+/// the replan pipeline, never the process heap.
+class FeedUpdateQueue {
+ public:
+  explicit FeedUpdateQueue(std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t pending() const noexcept { return pending_; }
+
+  /// Enqueues `count` revisions; overflow is counted dropped.
+  void push(std::size_t count) noexcept;
+
+  /// Dequeues up to `max_count` revisions; returns how many came out.
+  std::size_t drain(std::size_t max_count) noexcept;
+
+  /// Revisions ever offered (accepted + dropped).
+  std::size_t seen() const noexcept { return seen_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+
+  /// Checkpoint support: overwrite the mutable state.
+  void restore(std::size_t pending, std::size_t seen,
+               std::size_t dropped) noexcept;
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t seen_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace billcap::serve

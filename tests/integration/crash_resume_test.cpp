@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +18,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/simulator.hpp"
+#include "util/journal.hpp"
 
 namespace billcap::core {
 namespace {
@@ -250,6 +252,86 @@ TEST(CrashResumeTest, CheckpointCorruptionFallsBackOneGeneration) {
     std::remove((path + (g ? "." + std::to_string(g) : "")).c_str());
 }
 
+TEST(CrashResumeTest, DeathMidRotatedCheckpointWriteResumesNewestViable) {
+  // A SIGTERM (or power cut) landing while the rotated checkpoint commit
+  // is in flight leaves one of three artifact shapes on disk, depending
+  // on where in the temp-write -> rename -> rotate sequence it struck:
+  //
+  //   torn tmp          the .tmp of the next write exists, never renamed;
+  //   rotation-shifted  rotate_generations ran but the new generation 0
+  //                     was never written (gen 0 missing, gen 1 newest);
+  //   truncated newest  generation 0 exists but is cut short mid-write.
+  //
+  // The newest-first fallback scan must resume from the newest viable
+  // generation in every shape, and the month must still complete
+  // bit-identically to the uninterrupted run.
+  SimulationConfig config = faulty_config();
+  const MonthlyResult want = Simulator(config).run(Strategy::kCostCapping);
+  config.fault_plan.crashes.push_back({12, /*before_checkpoint=*/true});
+  config.fault_plan.crashes.push_back({18, /*before_checkpoint=*/true});
+  config.fault_plan.crashes.push_back({24, /*before_checkpoint=*/true});
+  const Simulator sim(config);
+  const std::string path = temp_path("billcap_resume_torn.j");
+  Simulator::ResumeControls controls;
+  controls.keep_generations = 3;
+  for (std::size_t g = 0; g < 3; ++g)
+    std::remove(util::Journal::generation_path(path, g).c_str());
+
+  // Crash 1 pins the chain at hour 12. Shape: torn tmp left beside it.
+  Simulator::ResumableOutcome outcome =
+      sim.run_resumable(Strategy::kCostCapping, path, false, {}, controls);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.crash_hour, 12u);
+  {
+    std::ofstream torn(path + ".tmp", std::ios::binary);
+    torn << "half-written journal with no checksum";
+  }
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true, {}, controls);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.resumed_generation, 0u);  // tmp is invisible to the scan
+  EXPECT_EQ(outcome.resumed_from, 12u);
+  EXPECT_EQ(outcome.crash_hour, 18u);
+  std::remove((path + ".tmp").c_str());
+
+  // Shape 2: the death struck between rotate_generations and the new
+  // generation-0 write — shift the chain up one slot by hand.
+  std::rename(util::Journal::generation_path(path, 1).c_str(),
+              util::Journal::generation_path(path, 2).c_str());
+  std::rename(util::Journal::generation_path(path, 0).c_str(),
+              util::Journal::generation_path(path, 1).c_str());
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true, {}, controls);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.resumed_generation, 1u);  // gen 0 missing, gen 1 newest
+  EXPECT_EQ(outcome.resumed_from, 18u);       // no committed hour was lost
+  EXPECT_EQ(outcome.crash_hour, 24u);
+
+  // Shape 3: generation 0 truncated mid-write (checksum cannot hold).
+  // Generation 1 is hour 23's ordinary commit — next_hour is already 24,
+  // so no committed hour is lost — but the crash-cursor advance lived
+  // only in the truncated crash-time save, so the hour-24 death FIRES
+  // AGAIN: a planned death is consumed only once its cursor survives.
+  {
+    const std::uintmax_t size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+  }
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true, {}, controls);
+  ASSERT_TRUE(outcome.crashed);
+  EXPECT_EQ(outcome.resumed_generation, 1u);
+  ASSERT_EQ(outcome.resume_skipped.size(), 1u);
+  EXPECT_EQ(outcome.resumed_from, 24u);  // no committed hour was lost
+  EXPECT_EQ(outcome.crash_hour, 24u);    // the unconsumed death re-fires
+
+  // The re-fired death re-persists its cursor; the final attempt finishes
+  // the month bit-identically. crash_recoveries is cursor-derived, so the
+  // replayed death does not double-count.
+  outcome = sim.run_resumable(Strategy::kCostCapping, path, true, {}, controls);
+  EXPECT_FALSE(outcome.crashed);
+  EXPECT_EQ(outcome.result.crash_recoveries, 3u);
+  expect_results_bitwise_equal(want, outcome.result);
+  for (std::size_t g = 0; g < 3; ++g)
+    std::remove(util::Journal::generation_path(path, g).c_str());
+}
+
 TEST(CrashResumeTest, KillStormWithRotationAndBitRotStillBitIdentical) {
   // The belt-and-braces month: a crash at EVERY hour, plus storage bit
   // rot at three of them, under a three-generation checkpoint chain. The
@@ -281,7 +363,7 @@ TEST(CrashResumeTest, StopFlagFinishesInFlightHourAndResumesCleanly) {
   const std::string path = temp_path("billcap_resume_stop.j");
   std::remove(path.c_str());
 
-  // The flag flips while hour 5 is in flight (from the post-commit hook,
+  // The flag flips while hour 5 is in flight (from the per-hour hook,
   // like the CLI's SIGTERM handler): the attempt must commit hour 5,
   // then stop at the loop top with a consistent checkpoint.
   static volatile std::sig_atomic_t stop = 0;

@@ -1,7 +1,9 @@
 // Fixture: idiomatic code with no hazards scans clean. Never compiled.
 #include <cstdio>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 int main() {
   std::map<std::string, double> ledger;
@@ -10,5 +12,21 @@ int main() {
     std::printf("%s %.6f\n", key.c_str(), value);
   // A string mentioning time("now") or catch (...) shapes stays inert:
   const std::string doc = "exit codes live in core::ExitCode";
+
+  // Bounded buffering shapes BL022 must trust: a comparison-bounded
+  // condition, a stream-extraction loop, and a capacity-checked push.
+  std::vector<int> batch;
+  while (batch.size() < 8) batch.push_back(0);
+  std::istringstream stream("1 2 3");
+  int token = 0;
+  std::vector<int> tokens;
+  while (stream >> token) tokens.push_back(token);
+  std::vector<int> ring;
+  while (!tokens.empty()) {
+    if (ring.size() >= 4) ring.erase(ring.begin());
+    ring.push_back(tokens.back());
+    tokens.pop_back();
+  }
+
   return doc.empty() ? 1 : 0;
 }

@@ -1,6 +1,7 @@
 // Fixture: a correctly annotated hazard scans clean. Never compiled.
 #include <chrono>
 #include <fstream>
+#include <vector>
 
 double sanctioned_now_s() {
   // billcap-lint: allow(wall-clock): telemetry only, never checkpointed
@@ -12,4 +13,11 @@ void sanctioned_write(const char* tmp) {
   // billcap-lint: allow(raw-write): temp half of a temp+rename commit
   std::ofstream out(tmp);
   out << "committed by rename";
+}
+
+void sanctioned_buffer(bool running, std::vector<int>& backlog) {
+  while (running) {
+    // billcap-lint: allow(unbounded-queue): caller admission-bounds backlog
+    backlog.push_back(0);
+  }
 }

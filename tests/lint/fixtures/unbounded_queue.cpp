@@ -1,0 +1,16 @@
+// Fixture: BL022 unbounded-queue. Never compiled — scanned by lint_test
+// only. A daemon-shaped receive loop that buffers forever: no capacity
+// check, no drain, no escape — exactly the overload OOM the serving
+// plane's BoundedQueue exists to prevent.
+#include <vector>
+
+void receive_loop(bool running, std::vector<int>& backlog) {
+  while (running) {
+    backlog.push_back(next_request());
+  }
+}
+
+void spin_buffer(std::vector<int>& events) {
+  while (true)
+    events.emplace_back(poll_event());
+}

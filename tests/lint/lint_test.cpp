@@ -42,6 +42,7 @@ TEST(LintFixtures, EachKnownBadFixtureTriggersExactlyItsRule) {
       {"raw_write.cpp", Rule::kRawWrite},
       {"catch_all.cpp", Rule::kCatchAll},
       {"todo_issue.cpp", Rule::kTodoIssue},
+      {"unbounded_queue.cpp", Rule::kUnboundedQueue},
       {"bare_allow.cpp", Rule::kBareAllow},
   };
   for (const FixtureCase& c : cases)

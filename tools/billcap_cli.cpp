@@ -14,7 +14,17 @@
 //                      [--exit-storm h:n,...] [--corrupt-checkpoint-at h,..]
 //                      [--standby [--standby-hours N]]
 //                      [--min-premium r]
-//   billcap supervise  --checkpoint path [simulate flags...]
+//   billcap serve      [simulate config/fault flags...]
+//                      [--ticks-per-hour T] [--hours H]
+//                      [--premium-queue-ticks Q] [--ordinary-queue-ticks Q]
+//                      [--feed-queue N] [--feed-drain N] [--stale-ticks N]
+//                      [--breaker-trip N] [--breaker-cooldown N]
+//                      [--replan-nodes N] [--replan-deadline-ms X]
+//                      [--kill-at-ticks t,...] [--die-on-kill]
+//                      [--checkpoint path] [--resume]
+//                      [--keep-generations K] [--csv path]
+//                      [--standby [--standby-hours N]]
+//   billcap supervise  --checkpoint path [--serve] [child flags...]
 //                      [--restart-budget N] [--restart-window-s S]
 //                      [--backoff-ms B] [--backoff-multiplier M]
 //                      [--backoff-max-ms X] [--backoff-jitter J]
@@ -56,6 +66,7 @@
 #include "core/exit_codes.hpp"
 #include "core/simulator.hpp"
 #include "core/supervisor.hpp"
+#include "serve/serve_loop.hpp"
 #include "market/dcopf.hpp"
 #include "market/pjm5.hpp"
 #include "market/policy_derivation.hpp"
@@ -169,6 +180,24 @@ void parse_faults(const util::CliArgs& args, core::SimulationConfig& config) {
                                     "corrupt-checkpoint-at"))
     config.fault_plan.checkpoint_corruptions.push_back(
         {static_cast<std::size_t>(t[0])});
+  for (const auto& t :
+       parse_tuples(args.get("flash-crowds"), 3, "flash-crowds")) {
+    require_duration(t[1], "flash-crowds", "");
+    if (t[2] <= 0.0)
+      throw util::UsageError("--flash-crowds: multiplier must be > 0");
+    config.fault_plan.flash_crowds.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         t[2]});
+  }
+  for (const auto& t :
+       parse_tuples(args.get("feed-bursts"), 3, "feed-bursts")) {
+    require_duration(t[1], "feed-bursts", "");
+    if (t[2] < 1.0)
+      throw util::UsageError("--feed-bursts: updates per tick must be >= 1");
+    config.fault_plan.feed_bursts.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         static_cast<std::size_t>(t[2])});
+  }
 
   config.fault_rates.outage_rate = args.get_prob("fault-outage-rate", 0.0);
   config.fault_rates.stale_rate = args.get_prob("fault-stale-rate", 0.0);
@@ -428,6 +457,220 @@ int cmd_simulate(const util::CliArgs& args) {
   return core::kExitSuccess;
 }
 
+/// Column set of the per-tick CSV the serving daemon streams (flushed in
+/// lockstep with the tick checkpoint, like simulate's hourly CSV).
+std::vector<std::string> tick_csv_header() {
+  return {"tick", "hour", "premium_arrivals", "ordinary_arrivals",
+          "dropped_premium", "dropped_ordinary", "served_premium",
+          "served_ordinary", "premium_depth", "ordinary_depth", "cost",
+          "hour_budget", "crowd", "feed_updates", "replanned", "plan_held",
+          "stale", "admission", "breaker", "health"};
+}
+
+std::vector<std::string> tick_csv_row(const serve::TickRecord& t) {
+  return {std::to_string(t.tick), std::to_string(t.hour),
+          util::format_double(t.premium_arrivals),
+          util::format_double(t.ordinary_arrivals),
+          util::format_double(t.dropped_premium),
+          util::format_double(t.dropped_ordinary),
+          util::format_double(t.served_premium),
+          util::format_double(t.served_ordinary),
+          util::format_double(t.premium_depth),
+          util::format_double(t.ordinary_depth), util::format_double(t.cost),
+          util::format_double(t.hour_budget),
+          util::format_double(t.crowd_multiplier),
+          std::to_string(t.feed_updates), t.replanned ? "1" : "0",
+          t.plan_held ? "1" : "0", t.stale ? "1" : "0",
+          serve::to_string(t.admission), serve::to_string(t.breaker),
+          serve::to_string(t.health)};
+}
+
+/// billcap serve: the overload-safe serving daemon — the batch month run
+/// at sub-hour tick granularity through the bounded ingest plane, the
+/// admission ladder and the breaker-guarded re-plan engine, with a durable
+/// per-tick checkpoint. Reuses simulate's config and fault flags.
+int cmd_serve(const util::CliArgs& args) {
+  core::SimulationConfig config;
+  config.monthly_budget = args.get_positive_double("budget", 1.5e6);
+  config.policy_level = static_cast<int>(args.get_long("policy", 1));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
+  config.enforce_budget = !args.get_bool("no-cap", false);
+  parse_faults(args, config);
+
+  serve::ServeConfig serve_config;
+  serve_config.ticks_per_hour =
+      static_cast<std::size_t>(args.get_positive_long("ticks-per-hour", 6));
+  const long hours = args.get_long("hours", 0);
+  if (hours < 0) throw util::UsageError("--hours: must be >= 0 (0 = month)");
+  serve_config.horizon_hours = static_cast<std::size_t>(hours);
+  serve_config.premium_queue_ticks =
+      args.get_positive_double("premium-queue-ticks", 4.0);
+  serve_config.ordinary_queue_ticks =
+      args.get_positive_double("ordinary-queue-ticks", 4.0);
+  serve_config.feed_queue_capacity =
+      static_cast<std::size_t>(args.get_positive_long("feed-queue", 16));
+  serve_config.feed_updates_per_tick =
+      static_cast<std::size_t>(args.get_positive_long("feed-drain", 1));
+  serve_config.admission.stale_ticks_tolerated =
+      static_cast<std::size_t>(args.get_positive_long("stale-ticks", 12));
+  serve_config.breaker.trip_after =
+      static_cast<std::size_t>(args.get_positive_long("breaker-trip", 3));
+  serve_config.breaker.cooldown_ticks =
+      static_cast<std::size_t>(args.get_positive_long("breaker-cooldown", 4));
+  serve_config.replan_node_budget = args.get_long("replan-nodes", 20000);
+  if (args.has("replan-deadline-ms"))
+    serve_config.replan_deadline_ms =
+        args.get_positive_double("replan-deadline-ms", 0.0);
+  serve_config.standby = args.get_bool("standby", false);
+  for (const auto& t :
+       parse_tuples(args.get("kill-at-ticks"), 1, "kill-at-ticks"))
+    serve_config.kill_at_ticks.push_back(static_cast<std::size_t>(t[0]));
+
+  const double min_premium = args.get_prob("min-premium", 0.995);
+  const std::string checkpoint_path = args.get("checkpoint");
+  const bool resume = args.get_bool("resume", false);
+  const bool die_on_kill = args.get_bool("die-on-kill", false);
+  const auto keep_generations = static_cast<std::size_t>(
+      args.get_positive_long("keep-generations", 1));
+  if (resume && checkpoint_path.empty())
+    throw util::UsageError("--resume requires --checkpoint <path>");
+  if (checkpoint_path.empty() && !serve_config.kill_at_ticks.empty())
+    throw util::UsageError("--kill-at-ticks requires --checkpoint <path>");
+  if (die_on_kill && checkpoint_path.empty())
+    throw util::UsageError("--die-on-kill requires --checkpoint <path>");
+  if (args.has("standby-hours") && !serve_config.standby)
+    throw util::UsageError("--standby-hours requires --standby");
+
+  const core::Simulator sim(config);
+  const serve::ServeLoop loop(sim, serve_config);
+
+  const std::string csv_path = args.get("csv");
+  std::unique_ptr<util::CsvWriter> writer;
+  const auto on_tick = [&](const serve::TickRecord& t) {
+    if (csv_path.empty()) return;
+    // First committed tick of this attempt: keep only the CSV rows the
+    // serve checkpoint vouches for.
+    if (!writer)
+      writer = std::make_unique<util::CsvWriter>(csv_path, tick_csv_header(),
+                                                 t.tick);
+    writer->add_row(tick_csv_row(t));
+  };
+
+  g_stop_requested = 0;
+  std::signal(SIGTERM, request_stop);
+  std::signal(SIGINT, request_stop);
+
+  serve::ServeLoop::Controls controls;
+  controls.keep_generations = keep_generations;
+  controls.stop_flag = &g_stop_requested;
+  if (serve_config.standby)
+    controls.max_ticks =
+        static_cast<std::size_t>(args.get_positive_long("standby-hours", 4)) *
+        serve_config.ticks_per_hour;
+
+  const auto report_resume = [&](const serve::ServeOutcome& o) {
+    for (const auto& skipped : o.resume_skipped)
+      std::fprintf(stderr, "serve checkpoint generation skipped: %s\n",
+                   skipped.c_str());
+    if (o.resumed_generation > 0)
+      std::fprintf(stderr,
+                   "resumed from serve checkpoint generation %zu at tick %zu "
+                   "(newer generations unusable)\n",
+                   o.resumed_generation, o.resumed_from_tick);
+  };
+
+  serve::ServeOutcome outcome =
+      loop.run(checkpoint_path, resume, on_tick, controls);
+  report_resume(outcome);
+  std::size_t restarts = 0;
+  while (outcome.crashed) {
+    if (die_on_kill) {
+      // Supervised mode: the injected kill must take down the real process
+      // (the kill-cursor-advanced checkpoint is already on disk), so the
+      // watchdog sees a genuine abnormal death.
+      std::fprintf(stderr, "serve daemon killed at tick %zu; dying\n",
+                   outcome.crash_tick);
+      std::fflush(nullptr);
+#if defined(__unix__) || defined(__APPLE__)
+      std::raise(SIGKILL);
+#endif
+      std::abort();
+    }
+    ++restarts;
+    std::fprintf(stderr, "serve daemon killed at tick %zu; resuming from %s\n",
+                 outcome.crash_tick, checkpoint_path.c_str());
+    writer.reset();  // reopen against the post-kill checkpoint state
+    outcome = loop.run(checkpoint_path, true, on_tick, controls);
+    report_resume(outcome);
+  }
+  if (outcome.stopped) {
+    std::printf("stopped gracefully at tick %zu (serve checkpoint "
+                "consistent; resume with --resume)\n",
+                outcome.report.ticks_committed);
+    return core::kExitStopped;
+  }
+
+  const serve::ServeReport& r = outcome.report;
+  std::printf("serve | policy %d | budget $%.2fM | seed %llu | %zu ticks "
+              "(%zu per hour)\n",
+              config.policy_level, config.monthly_budget / 1e6,
+              static_cast<unsigned long long>(config.seed), r.ticks_committed,
+              r.ticks_per_hour);
+  util::Table table({"metric", "value"});
+  table.add_row({"total cost", "$" + util::format_fixed(r.total_cost, 0)});
+  table.add_row({"premium throughput",
+                 util::format_fixed(100.0 * r.premium_throughput_ratio(), 2) +
+                     "%"});
+  table.add_row({"ordinary throughput",
+                 util::format_fixed(100.0 * r.ordinary_throughput_ratio(), 2) +
+                     "%"});
+  table.add_row({"premium dropped", util::format_double(r.dropped_premium)});
+  table.add_row({"ordinary dropped", util::format_double(r.dropped_ordinary)});
+  table.add_row({"max premium queue fill",
+                 util::format_fixed(
+                     100.0 * r.max_premium_depth /
+                         std::max(r.premium_queue_capacity, 1.0), 1) + "%"});
+  table.add_row({"max ordinary queue fill",
+                 util::format_fixed(
+                     100.0 * r.max_ordinary_depth /
+                         std::max(r.ordinary_queue_capacity, 1.0), 1) + "%"});
+  table.add_row({"feed updates seen", std::to_string(r.feed_updates_seen)});
+  table.add_row(
+      {"feed updates dropped", std::to_string(r.feed_updates_dropped)});
+  table.add_row({"re-plans", std::to_string(r.replans) + " (" +
+                                 std::to_string(r.degraded_replans) +
+                                 " degraded)"});
+  table.add_row({"breaker trips", std::to_string(r.breaker_trips)});
+  table.add_row({"shed ticks", std::to_string(r.shed_ticks)});
+  table.add_row({"standby ticks", std::to_string(r.standby_ticks)});
+  table.add_row({"final health", serve::to_string(r.final_health)});
+  table.print(std::cout);
+
+  if (!r.health_history.empty()) {
+    std::printf("health transitions (%zu total%s):\n", r.health_transitions,
+                r.health_transitions > r.health_history.size()
+                    ? ", newest shown"
+                    : "");
+    for (const auto& t : r.health_history)
+      std::printf("  tick %6zu  %s -> %s\n", t.tick, serve::to_string(t.from),
+                  serve::to_string(t.to));
+  }
+  if (restarts > 0)
+    std::printf("recovered from %zu daemon kill(s)\n", restarts);
+  if (writer)
+    std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), writer->num_rows());
+
+  if (!r.premium_qos_ok() || r.premium_throughput_ratio() < min_premium) {
+    std::fprintf(stderr,
+                 "unrecoverable: premium QoS contract broken (dropped %.0f "
+                 "at the door, final backlog %.0f, throughput %.4f)\n",
+                 r.dropped_premium, r.final_premium_depth,
+                 r.premium_throughput_ratio());
+    return core::kExitQosBroken;
+  }
+  return core::kExitSuccess;
+}
+
 int cmd_sweep(const util::CliArgs& args) {
   const auto budgets =
       args.get_double_list("budgets", {0.5e6, 1.0e6, 1.5e6, 2.0e6, 2.5e6});
@@ -559,7 +802,7 @@ int cmd_supervise(int argc, char** argv, const util::CliArgs& args) {
       "restart-budget", "restart-window-s", "backoff-ms",
       "backoff-multiplier", "backoff-max-ms", "backoff-jitter",
       "escalate-after", "standby-hours", "keep-generations",
-      "resume", "die-on-crash", "standby"};
+      "resume", "die-on-crash", "die-on-kill", "standby", "serve"};
   std::vector<std::string> forwarded;
   bool command_seen = false;
   for (int i = 1; i < argc; ++i) {
@@ -586,13 +829,16 @@ int cmd_supervise(int argc, char** argv, const util::CliArgs& args) {
   }
 
   // Both children always resume from the rotated checkpoint chain and let
-  // injected crashes kill the real process so the watchdog sees them.
+  // injected crashes (or serve kill-ticks) kill the real process so the
+  // watchdog sees them. --serve supervises the serving daemon instead of
+  // the batch controller.
+  const bool serve_child = args.get_bool("serve", false);
   core::ChildSpec primary;
   primary.program = self_path(argv[0]);
-  primary.args.emplace_back("simulate");
+  primary.args.emplace_back(serve_child ? "serve" : "simulate");
   primary.args.insert(primary.args.end(), forwarded.begin(), forwarded.end());
   primary.args.emplace_back("--resume");
-  primary.args.emplace_back("--die-on-crash");
+  primary.args.emplace_back(serve_child ? "--die-on-kill" : "--die-on-crash");
   primary.args.emplace_back("--keep-generations");
   primary.args.push_back(std::to_string(keep_generations));
 
@@ -643,13 +889,27 @@ int cmd_help() {
       "              mode (no MILP), N committed hours per attempt\n"
       "            --deadline-ms M   hard wall-clock limit per solve\n"
       "            --min-premium r   exit 3 if premium throughput < r\n"
-      "  supervise watchdog around simulate: forks the controller, restarts\n"
+      "  serve     overload-safe serving daemon: the month at sub-hour ticks\n"
+      "            through a bounded ingest plane, an admission ladder and a\n"
+      "            breaker-guarded re-plan engine. Takes simulate's config\n"
+      "            and fault flags, plus: --ticks-per-hour N  --hours H\n"
+      "            --premium-queue-ticks --ordinary-queue-ticks (capacity in\n"
+      "            mean tick arrivals) --feed-queue N --feed-drain N\n"
+      "            --stale-ticks N (re-plan staleness tolerance)\n"
+      "            --breaker-trip N --breaker-cooldown T (circuit breaker)\n"
+      "            --replan-nodes N --replan-deadline-ms M (per-tick\n"
+      "            re-plan budget; node budget keeps resume bitwise)\n"
+      "            --kill-at-ticks t1,t2,... --die-on-kill (injected daemon\n"
+      "            deaths) --checkpoint --resume --keep-generations --csv\n"
+      "            --standby [--standby-hours N] --min-premium r\n"
+      "  supervise watchdog around simulate (or the serving daemon with\n"
+      "            --serve): forks the controller, restarts\n"
       "            abnormal exits with a budget (--restart-budget\n"
       "            --restart-window-s) and exponential backoff (--backoff-ms\n"
       "            --backoff-multiplier --backoff-max-ms --backoff-jitter),\n"
       "            escalates to standby after --escalate-after zero-progress\n"
       "            deaths, keeps --keep-generations rotated checkpoints.\n"
-      "            All other flags are forwarded to the simulate child.\n"
+      "            All other flags are forwarded to the child.\n"
       "  sweep     budget sweep (--budgets 0.5e6,1e6,... --policy --seed)\n"
       "  opf       PJM 5-bus optimal power flow (--load MW)\n"
       "  trace     synthetic workload statistics (--seed)\n"
@@ -671,6 +931,7 @@ int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   try {
     if (args.command() == "simulate") return cmd_simulate(args);
+    if (args.command() == "serve") return cmd_serve(args);
     if (args.command() == "supervise") return cmd_supervise(argc, argv, args);
     if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "opf") return cmd_opf(args);

@@ -31,4 +31,10 @@ cmake --build "$ROOT/$PREFIX-asan" -j "$JOBS"
 ctest --test-dir "$ROOT/$PREFIX-asan" -L robustness --output-on-failure \
   -j "$JOBS"
 
+echo "== tier 3: serve-daemon chaos soak (<= 30 s) =="
+# The soak drives the serving daemon through a compound chaos scenario
+# (flash crowd + feed burst + feed outage + site outage + kill-storm) and
+# asserts the overload contract end to end. It reuses the tier-1 build.
+ctest --test-dir "$ROOT/$PREFIX" -L soak --output-on-failure -j "$JOBS"
+
 echo "ci: all suites passed"

@@ -14,7 +14,7 @@ namespace {
 
 // ---- rule catalogue --------------------------------------------------------
 
-constexpr std::array<RuleInfo, 9> kRules = {{
+constexpr std::array<RuleInfo, 10> kRules = {{
     {Rule::kWallClock, "BL001", "wall-clock",
      "wall-clock time and ambient PRNGs make a resumed month diverge from "
      "an uninterrupted one"},
@@ -38,6 +38,9 @@ constexpr std::array<RuleInfo, 9> kRules = {{
      "hides degradation"},
     {Rule::kTodoIssue, "BL021", "todo-issue",
      "a TODO/FIXME without an issue reference (#N) is untracked debt"},
+    {Rule::kUnboundedQueue, "BL022", "unbounded-queue",
+     "a container growing inside a loop with no visible bound is an OOM "
+     "under overload; serving-path buffers must be capacity-checked"},
     {Rule::kBareAllow, "BL030", "bare-allow",
      "every suppression must say why the hazard is sanctioned"},
 }};
@@ -432,6 +435,136 @@ bool catch_block_handles(const std::vector<LineInfo>& lines,
   return false;
 }
 
+// ---- BL022 unbounded queue -------------------------------------------------
+//
+// billcap-lint is a lexer, not a parser, so the rule is shaped for low
+// false-positive cost: only `while` loops are examined (the overload-risk
+// shape — `for` loops carry their bound in the header), a loop whose
+// condition shows any bounding evidence is trusted, and one capacity
+// check anywhere in the body sanctions every growth call in it.
+
+constexpr std::string_view kGrowthCalls[] = {
+    "push_back", "emplace_back", "push", "emplace", "push_front",
+    "emplace_front", "append",
+};
+
+/// Tokens whose presence in a loop body shows the growth is accounted
+/// for: a capacity/size check, a matching consumer, or a loop escape.
+constexpr std::string_view kCapacityEvidence[] = {
+    "size",  "capacity", "full",  "empty", "reserve", "resize",
+    "pop",   "pop_back", "pop_front", "drop", "drain", "take",
+    "erase", "clear",    "break",
+};
+
+/// A while condition is bounded when it compares against a limit, tests a
+/// container's state, or extracts from a stream (EOF-bounded). '<' and '>'
+/// also cover stream extraction and shifts — over-trusting the condition
+/// is the cheap direction; the rule exists to catch `while (true)` and
+/// bare-flag spins that buffer without a cap.
+bool while_condition_bounded(std::string_view cond) {
+  if (cond.find('<') != std::string_view::npos ||
+      cond.find('>') != std::string_view::npos ||
+      cond.find("!=") != std::string_view::npos ||
+      cond.find("==") != std::string_view::npos)
+    return true;
+  bool bounded = false;
+  for_each_identifier(cond, [&](std::string_view tok, std::size_t) {
+    bounded = bounded || tok == "size" || tok == "empty" ||
+              tok == "capacity" || tok == "full" || tok == "getline";
+  });
+  return bounded;
+}
+
+struct LoopGrowth {
+  std::size_t line = 0;  ///< 0-based line of the growth call
+  std::string call;
+};
+
+/// Scans the `while` loop whose keyword sits at `lines[n].code[pos]`;
+/// reports growth calls when the loop shows no bound anywhere. Windows are
+/// hard-capped so a brace imbalance cannot make the scan quadratic.
+void scan_while_loop(const std::vector<LineInfo>& lines, std::size_t n,
+                     std::size_t pos, std::vector<LoopGrowth>& growths) {
+  constexpr std::size_t kConditionWindow = 6;
+  constexpr std::size_t kBodyWindow = 96;
+
+  // Collect the condition text across lines, tracking paren depth.
+  std::string cond;
+  int depth = 0;
+  bool in_cond = false;
+  std::size_t body_line = n;
+  std::size_t body_col = 0;
+  bool found_close = false;
+  for (std::size_t m = n; m < lines.size() && m < n + kConditionWindow && !found_close; ++m) {
+    const std::string& code = lines[m].code;
+    for (std::size_t i = m == n ? pos : 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (!in_cond) {
+        if (c == '(') {
+          in_cond = true;
+          depth = 1;
+        }
+        continue;
+      }
+      if (c == '(') ++depth;
+      if (c == ')' && --depth == 0) {
+        body_line = m;
+        body_col = i + 1;
+        found_close = true;
+        break;
+      }
+      cond.push_back(c);
+    }
+  }
+  if (!found_close || while_condition_bounded(cond)) return;
+
+  // Walk the body (braced or single-statement), recording growth calls
+  // and capacity evidence; the whole body is one sanction scope.
+  bool evidence = false;
+  std::vector<LoopGrowth> local;
+  int braces = 0;
+  bool braced = false;
+  bool done = false;
+  for (std::size_t m = body_line;
+       m < lines.size() && m < body_line + kBodyWindow && !done; ++m) {
+    const std::string& code = lines[m].code;
+    const std::size_t start = m == body_line ? body_col : 0;
+    const std::string_view body(code.data() + start, code.size() - start);
+    for_each_identifier(body, [&](std::string_view tok, std::size_t at) {
+      if (contains(kCapacityEvidence, tok)) evidence = true;
+      if (contains(kGrowthCalls, tok) && at > 0 &&
+          (body[at - 1] == '.' || body[at - 1] == '>') &&
+          followed_by_call(body, at + tok.size()))
+        local.push_back({m, std::string(tok)});
+    });
+    for (std::size_t i = start; i < code.size(); ++i) {
+      if (code[i] == '{') {
+        ++braces;
+        braced = true;
+      } else if (code[i] == '}') {
+        if (braced && --braces == 0) done = true;
+      } else if (code[i] == ';' && !braced) {
+        done = true;  // single-statement body
+      }
+    }
+  }
+  if (!evidence)
+    growths.insert(growths.end(), local.begin(), local.end());
+}
+
+/// BL022 pass over the whole translation unit.
+std::vector<LoopGrowth> check_unbounded_queues(
+    const std::vector<LineInfo>& lines) {
+  std::vector<LoopGrowth> growths;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    for_each_identifier(lines[n].code, [&](std::string_view tok,
+                                           std::size_t pos) {
+      if (tok == "while") scan_while_loop(lines, n, pos + tok.size(), growths);
+    });
+  }
+  return growths;
+}
+
 void check_todo(std::string_view comment, std::vector<std::string>& hits) {
   const bool todo = comment.find("TODO") != std::string_view::npos ||
                     comment.find("FIXME") != std::string_view::npos;
@@ -447,7 +580,7 @@ void check_todo(std::string_view comment, std::vector<std::string>& hits) {
 
 // ---- public API ------------------------------------------------------------
 
-const std::array<RuleInfo, 9>& rule_table() { return kRules; }
+const std::array<RuleInfo, 10>& rule_table() { return kRules; }
 
 const RuleInfo& info(Rule rule) {
   for (const RuleInfo& r : kRules)
@@ -518,6 +651,17 @@ std::vector<Finding> scan_source(std::string_view path,
     }
     check_todo(line.comment, hits);
     emit(n, Rule::kTodoIssue, hits);
+  }
+
+  for (const LoopGrowth& g : check_unbounded_queues(lines)) {
+    if (!suppress.allowed[g.line].count(Rule::kUnboundedQueue))
+      findings.push_back(
+          {std::string(path), g.line + 1, Rule::kUnboundedQueue,
+           "'" + g.call +
+               "' grows a container inside a while loop with no visible "
+               "bound — cap it, drain it, or check capacity before pushing "
+               "(the ingest plane's BoundedQueue shape), or annotate "
+               "allow(unbounded-queue)"});
   }
 
   for (Finding& f : suppress.bare_allow_findings)

@@ -36,6 +36,7 @@ enum class Rule {
   kRawWrite,       ///< BL012: ofstream/fopen bypassing the atomic journal
   kCatchAll,       ///< BL020: catch (...) that swallows silently
   kTodoIssue,      ///< BL021: to-do marker without an issue reference
+  kUnboundedQueue, ///< BL022: container growth in a loop with no bound
   kBareAllow,      ///< BL030: allow annotation without a rationale
 };
 
@@ -47,7 +48,7 @@ struct RuleInfo {
 };
 
 /// All rules, in report order.
-const std::array<RuleInfo, 9>& rule_table();
+const std::array<RuleInfo, 10>& rule_table();
 
 /// Info for a rule; never fails (the enum is the index).
 const RuleInfo& info(Rule rule);
