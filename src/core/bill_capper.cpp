@@ -38,6 +38,12 @@ FailureReason failure_reason_from(lp::SolveStatus status) noexcept {
     case lp::SolveStatus::kTimeLimit: return FailureReason::kTimeLimit;
     case lp::SolveStatus::kInfeasible: return FailureReason::kInfeasible;
     case lp::SolveStatus::kUnbounded: return FailureReason::kUnbounded;
+    case lp::SolveStatus::kArenaExhausted:
+      // The arena byte cap behaves like a resource/iteration budget: the
+      // solver gave up without an answer, the degradation ladder takes over.
+      // Mapped rather than given its own FailureReason because the
+      // kFailureReasonCount tally is persisted in checkpoints.
+      return FailureReason::kIterationLimit;
   }
   return FailureReason::kInfeasible;
 }
@@ -64,7 +70,13 @@ SiteModel down_site_model() {
 BillCapper::BillCapper(const std::vector<datacenter::DataCenter>& sites,
                        const std::vector<market::PricingPolicy>& policies,
                        OptimizerOptions options)
-    : sites_(sites), policies_(policies), options_(options) {
+    : sites_(sites), policies_(policies), options_(options),
+      min_cost_solver_(
+          lp::ArenaConfig{.warm_across_solves = options.warm_hourly_solver}),
+      throughput_solver_(
+          lp::ArenaConfig{.warm_across_solves = options.warm_hourly_solver}),
+      premium_solver_(
+          lp::ArenaConfig{.warm_across_solves = options.warm_hourly_solver}) {
   if (sites_.size() != policies_.size())
     throw std::invalid_argument("BillCapper: one policy per site required");
   if (sites_.empty())
@@ -173,7 +185,7 @@ CappingOutcome BillCapper::decide(double lambda_premium,
   // Step 1: cost minimization for the full (admitted) workload.
   // Degradation ladder: optimal -> limit-solve incumbent -> greedy.
   AllocationResult min_cost =
-      minimize_cost_over_models(models, lambda_total, opts);
+      minimize_cost_over_models(models, lambda_total, opts, min_cost_solver_);
   if (!min_cost.ok()) {
     mark_degraded(min_cost.status);
     if (min_cost.feasible) {
@@ -200,7 +212,7 @@ CappingOutcome BillCapper::decide(double lambda_premium,
   // Step 2: throughput maximization within the budget. An incumbent is
   // acceptable if it still covers the premium guarantee.
   AllocationResult capped = maximize_throughput_over_models(
-      models, lambda_total, solver_budget, opts);
+      models, lambda_total, solver_budget, opts, throughput_solver_);
   if (capped.usable() && capped.total_lambda >= premium - 1e-6) {
     if (!capped.ok()) {
       mark_degraded(capped.status);
@@ -236,7 +248,7 @@ CappingOutcome BillCapper::decide(double lambda_premium,
   // Budget cannot even cover premium: guarantee premium QoS at minimum
   // cost and accept the violation (Section V-B).
   AllocationResult premium_only =
-      minimize_cost_over_models(models, premium, opts);
+      minimize_cost_over_models(models, premium, opts, premium_solver_);
   if (!premium_only.ok()) {
     mark_degraded(premium_only.status);
     if (premium_only.feasible) {

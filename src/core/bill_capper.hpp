@@ -114,6 +114,15 @@ class BillCapper {
   const std::vector<datacenter::DataCenter>& sites_;
   const std::vector<market::PricingPolicy>& policies_;
   OptimizerOptions options_;
+  // One persistent solver arena per solve role, so each role's hour-over-
+  // hour problem sequence stays structurally coherent for warm starts
+  // (OptimizerOptions::warm_hourly_solver). With the flag off the arenas
+  // carry no state between calls and decide() remains a pure function of
+  // its arguments. Mutable: solver state is a cache, not an observable
+  // property of the capper.
+  mutable lp::ArenaSolver min_cost_solver_;
+  mutable lp::ArenaSolver throughput_solver_;
+  mutable lp::ArenaSolver premium_solver_;
 };
 
 }  // namespace billcap::core

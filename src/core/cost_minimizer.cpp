@@ -7,6 +7,15 @@ namespace billcap::core {
 AllocationResult minimize_cost_over_models(std::span<const SiteModel> models,
                                            double lambda_total,
                                            const OptimizerOptions& options) {
+  // Solve-local arena: within-call warm starts only, cross-call state none.
+  lp::ArenaSolver solver;
+  return minimize_cost_over_models(models, lambda_total, options, solver);
+}
+
+AllocationResult minimize_cost_over_models(std::span<const SiteModel> models,
+                                           double lambda_total,
+                                           const OptimizerOptions& options,
+                                           lp::ArenaSolver& solver) {
   if (lambda_total < 0.0)
     throw std::invalid_argument("minimize_cost: negative demand");
 
@@ -19,7 +28,7 @@ AllocationResult minimize_cost_over_models(std::span<const SiteModel> models,
   f.problem.add_constraint("demand", std::move(demand_terms),
                            lp::Relation::kEqual, lambda_total / kLambdaScale);
 
-  const lp::Solution solution = lp::solve_milp(f.problem, options.milp);
+  const lp::Solution solution = solver.solve(f.problem, options.milp);
   return decode_solution(f, models, solution);
 }
 

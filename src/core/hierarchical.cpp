@@ -58,6 +58,12 @@ HierarchicalCapper::HierarchicalCapper(
     region_sites_.push_back(std::move(rs));
     region_policies_.push_back(std::move(rp));
   }
+  // Second pass only once region_sites_/region_policies_ have stopped
+  // reallocating: each capper keeps references into its region's catalogs.
+  region_cappers_.reserve(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r)
+    region_cappers_.emplace_back(region_sites_[r], region_policies_[r],
+                                 options_);
 }
 
 HierarchicalOutcome HierarchicalCapper::decide(
@@ -88,7 +94,7 @@ HierarchicalOutcome HierarchicalCapper::decide(
   out.site_lambda.assign(sites_.size(), 0.0);
   for (std::size_t r = 0; r < regions_.size(); ++r) {
     const double share = capacity[r] / total_capacity;
-    const BillCapper capper(region_sites_[r], region_policies_[r], options_);
+    const BillCapper& capper = region_cappers_[r];
     std::vector<double> region_demand;
     for (std::size_t i : regions_[r].site_indices)
       region_demand.push_back(other_demand_mw[i]);

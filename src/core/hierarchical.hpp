@@ -56,9 +56,14 @@ class HierarchicalCapper {
   const std::vector<market::PricingPolicy>& policies_;
   std::vector<Region> regions_;
   OptimizerOptions options_;
-  // Per-region materialized catalogs (BillCapper holds references).
+  // Per-region materialized catalogs (BillCapper holds references), then
+  // one persistent capper per region so each region's solver arenas carry
+  // hour-over-hour warm state (OptimizerOptions::warm_hourly_solver).
+  // Built strictly after the catalogs are fully populated: the cappers
+  // reference catalog elements, which must not move again.
   std::vector<std::vector<datacenter::DataCenter>> region_sites_;
   std::vector<std::vector<market::PricingPolicy>> region_policies_;
+  std::vector<BillCapper> region_cappers_;
 };
 
 /// Convenience: partitions sites into contiguous regions of at most

@@ -17,6 +17,16 @@ constexpr double kCostTieBreak = 1e-7;
 AllocationResult maximize_throughput_over_models(
     std::span<const SiteModel> models, double lambda_available,
     double cost_budget, const OptimizerOptions& options) {
+  // Solve-local arena: within-call warm starts only, cross-call state none.
+  lp::ArenaSolver solver;
+  return maximize_throughput_over_models(models, lambda_available, cost_budget,
+                                         options, solver);
+}
+
+AllocationResult maximize_throughput_over_models(
+    std::span<const SiteModel> models, double lambda_available,
+    double cost_budget, const OptimizerOptions& options,
+    lp::ArenaSolver& solver) {
   if (lambda_available < 0.0)
     throw std::invalid_argument("maximize_throughput: negative demand");
   if (cost_budget < 0.0)
@@ -51,7 +61,7 @@ AllocationResult maximize_throughput_over_models(
   f.problem.add_constraint("budget", std::move(budget_terms),
                            lp::Relation::kLessEqual, cost_budget);
 
-  const lp::Solution solution = lp::solve_milp(f.problem, options.milp);
+  const lp::Solution solution = solver.solve(f.problem, options.milp);
   return decode_solution(f, models, solution);
 }
 

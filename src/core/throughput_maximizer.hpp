@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/formulation.hpp"
+#include "lp/arena_solver.hpp"
 
 namespace billcap::core {
 
@@ -26,5 +27,13 @@ AllocationResult maximize_throughput(
 AllocationResult maximize_throughput_over_models(
     std::span<const SiteModel> models, double lambda_available,
     double cost_budget, const OptimizerOptions& options = {});
+
+/// Same, solving on a caller-owned lp::ArenaSolver (see
+/// OptimizerOptions::warm_hourly_solver for the hour-over-hour warm-start
+/// protocol; the four-argument overload uses a solve-local arena).
+AllocationResult maximize_throughput_over_models(
+    std::span<const SiteModel> models, double lambda_available,
+    double cost_budget, const OptimizerOptions& options,
+    lp::ArenaSolver& solver);
 
 }  // namespace billcap::core

@@ -1,6 +1,8 @@
 #include "lp/milp.hpp"
 
 #include <algorithm>
+
+#include "lp/arena_solver.hpp"
 #include <chrono>
 #include <cmath>
 #include <utility>
@@ -38,6 +40,16 @@ int pick_branch_variable(const Problem& problem, std::span<const double> x,
 }  // namespace
 
 Solution solve_milp(const Problem& problem, const MilpOptions& options) {
+  // A fresh solver per call: within-call warm starts (B&B children resume
+  // from the parent basis) apply, cross-call state does not, keeping this
+  // free function a pure function of its arguments. Long-lived callers that
+  // want hour-over-hour warm starts hold their own ArenaSolver.
+  ArenaSolver solver;
+  return solver.solve(problem, options);
+}
+
+Solution solve_milp_reference(const Problem& problem,
+                              const MilpOptions& options) {
   const bool maximize = problem.sense() == Sense::kMaximize;
   // Internally compare in min-sense: lower is better.
   const auto to_min = [maximize](double obj) { return maximize ? -obj : obj; };
@@ -67,6 +79,7 @@ Solution solve_milp(const Problem& problem, const MilpOptions& options) {
 
   // Depth-first stack; children of the most recently expanded node first.
   std::vector<Node> stack;
+  stack.reserve(64);
   stack.push_back(Node{{}, -kInfinity});
 
   Problem scratch = problem;

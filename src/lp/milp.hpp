@@ -30,6 +30,20 @@ struct MilpOptions {
 /// snapped to exact integers), `best_bound` proves optimality within the
 /// gap, and `nodes`/`iterations` report search effort. Duals are not
 /// populated for MILPs.
+///
+/// Since the arena-solver rewrite this entry point runs lp::ArenaSolver
+/// (one solve-local instance: B&B children warm start from the parent
+/// basis via dual simplex; no state survives the call, so results stay a
+/// pure function of the inputs). The original stack-of-Problem-copies
+/// engine remains available as solve_milp_reference and is held equal to
+/// the arena path by tests/lp/solver_differential_test.cpp.
 Solution solve_milp(const Problem& problem, const MilpOptions& options = {});
+
+/// The pre-arena branch-and-bound engine (a fresh two-phase simplex per
+/// node). Kept as the independent oracle for the differential test harness
+/// and as a fallback reference for debugging; production callers use
+/// solve_milp.
+Solution solve_milp_reference(const Problem& problem,
+                              const MilpOptions& options = {});
 
 }  // namespace billcap::lp

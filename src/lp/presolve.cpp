@@ -115,6 +115,7 @@ PresolveResult presolve(const Problem& problem, const PresolveOptions& options) 
 
   // Pass 2: decide which variables survive.
   std::vector<int> new_index(static_cast<std::size_t>(n), -1);
+  result.kept_vars.reserve(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     const bool fixed =
         options.remove_fixed_variables &&
@@ -150,6 +151,7 @@ PresolveResult presolve(const Problem& problem, const PresolveOptions& options) 
     if (drop_row[static_cast<std::size_t>(i)]) continue;
     const Constraint& c = problem.constraint(i);
     std::vector<Term> terms;
+    terms.reserve(c.terms.size());
     double rhs = c.rhs;
     for (const Term& t : c.terms) {
       const double fixed_value = result.fixed[static_cast<std::size_t>(t.var)];

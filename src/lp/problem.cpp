@@ -36,6 +36,10 @@ void Problem::add_objective(int var, double delta) {
   vars_.at(static_cast<std::size_t>(var)).objective += delta;
 }
 
+void Problem::set_rhs(int row, double rhs) {
+  rows_.at(static_cast<std::size_t>(row)).rhs = rhs;
+}
+
 void Problem::set_bounds(int var, double lower, double upper) {
   if (lower > upper + 1e-9)
     throw std::invalid_argument("Problem::set_bounds: empty interval");
@@ -133,6 +137,7 @@ const char* to_string(SolveStatus status) noexcept {
     case SolveStatus::kIterationLimit: return "iteration_limit";
     case SolveStatus::kNodeLimit: return "node_limit";
     case SolveStatus::kTimeLimit: return "time_limit";
+    case SolveStatus::kArenaExhausted: return "arena_exhausted";
   }
   return "unknown";
 }

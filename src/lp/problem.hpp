@@ -65,6 +65,10 @@ class Problem {
   /// Replaces the objective coefficient of a variable.
   void set_objective(int var, double coef);
 
+  /// Replaces a constraint's right-hand side. Rhs-only edits preserve the
+  /// row structure ArenaSolver keys its warm starts on.
+  void set_rhs(int row, double rhs);
+
   /// Adds `delta` to the objective coefficient of a variable (handy when a
   /// variable appears in several cost terms during model building).
   void add_objective(int var, double delta);
@@ -122,6 +126,11 @@ enum class SolveStatus {
   kIterationLimit,
   kNodeLimit,
   kTimeLimit,
+  /// An ArenaSolver with a configured byte cap (ArenaConfig::max_arena_bytes)
+  /// refused to grow its arena. A typed, recoverable condition — callers
+  /// treat it like an iteration limit (degrade), never as a feasible answer;
+  /// Solution::has_incumbent() is false for it.
+  kArenaExhausted,
 };
 
 /// Printable status name.

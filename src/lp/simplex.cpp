@@ -240,23 +240,34 @@ class Tableau {
     return best;
   }
 
+  /// Ratio test: exact minimum first, then the smallest basis index among
+  /// rows within one absolute epsilon of that minimum. The window is
+  /// anchored at the true minimum — scanning with a window that re-centers
+  /// on every accepted tie lets `best_ratio` drift by ±1e-12 per acceptance
+  /// on degenerate problems, making the chosen row depend on row order and
+  /// admitting cycling. The anchored rule is pinned by
+  /// tests/lp/simplex_test.cpp (degenerate/cycling regressions) and the
+  /// arena solver implements the identical rule.
   int choose_leaving(int entering) const {
-    int best = -1;
-    double best_ratio = kInfinity;
+    double min_ratio = kInfinity;
     for (int i = 0; i < m_; ++i) {
       const double a = at(i, entering);
       if (a <= options_.pivot_tol) continue;
       // Clamp tiny negative rhs (round-off) to zero so the ratio test never
       // produces a negative step.
       const double ratio = std::max(rhs(i), 0.0) / a;
-      // Tie-break on the smaller basis index (lexicographic-ish, helps
-      // against cycling even under the Dantzig rule).
-      if (ratio < best_ratio - 1e-12 ||
-          (ratio < best_ratio + 1e-12 && best >= 0 &&
-           basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(best)])) {
-        best_ratio = ratio;
+      if (ratio < min_ratio) min_ratio = ratio;
+    }
+    if (min_ratio == kInfinity) return -1;
+    int best = -1;
+    for (int i = 0; i < m_; ++i) {
+      const double a = at(i, entering);
+      if (a <= options_.pivot_tol) continue;
+      const double ratio = std::max(rhs(i), 0.0) / a;
+      if (ratio <= min_ratio + 1e-12 &&
+          (best < 0 || basis_[static_cast<std::size_t>(i)] <
+                           basis_[static_cast<std::size_t>(best)]))
         best = i;
-      }
     }
     return best;
   }

@@ -1,0 +1,19 @@
+// Fixture: BL023 solve-alloc. Never compiled — scanned by lint_test only.
+// A solver-shaped translation unit (it opens namespace billcap::lp) whose
+// pivot loop grows a container with no reserve() sizing pass anywhere in
+// the file and heap-allocates scratch rows per iteration.
+#include <cstdlib>
+#include <vector>
+
+namespace billcap::lp {
+
+void pivot_until_optimal(std::vector<int>& basis, int entering) {
+  for (;;) {
+    basis.push_back(entering);
+    double* row = new double[8];
+    double* copy = static_cast<double*>(std::malloc(8 * sizeof(double)));
+    if (row[0] > copy[0]) break;
+  }
+}
+
+}  // namespace billcap::lp

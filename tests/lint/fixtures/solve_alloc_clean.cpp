@@ -1,0 +1,16 @@
+// Fixture: BL023 clean shape. Never compiled — scanned by lint_test only.
+// The same solver-shaped loop, but the file runs a reserve() sizing pass
+// before iterating, which sanctions in-loop growth: the storage was sized
+// up front, exactly the arena discipline the rule enforces.
+#include <vector>
+
+namespace billcap::lp {
+
+void collect_candidates(std::vector<int>& out, int n) {
+  out.reserve(static_cast<unsigned>(n));
+  for (int j = 0; j < n; ++j) {
+    out.push_back(j);
+  }
+}
+
+}  // namespace billcap::lp

@@ -1,0 +1,16 @@
+// Fixture: BL023 suppressed. Never compiled — scanned by lint_test only.
+// A sanctioned allocation inside a solver loop, carrying its rationale:
+// the annotation covers both the growth call and the raw new on its line.
+#include <vector>
+
+namespace billcap::lp {
+
+void rebuild_rows(std::vector<double*>& rows, int m) {
+  while (m > 0) {
+    // billcap-lint: allow(solve-alloc): cold-path rebuild, once per structure change
+    rows.push_back(new double[4]);
+    --m;
+  }
+}
+
+}  // namespace billcap::lp

@@ -43,6 +43,7 @@ TEST(LintFixtures, EachKnownBadFixtureTriggersExactlyItsRule) {
       {"catch_all.cpp", Rule::kCatchAll},
       {"todo_issue.cpp", Rule::kTodoIssue},
       {"unbounded_queue.cpp", Rule::kUnboundedQueue},
+      {"solve_alloc.cpp", Rule::kSolveAlloc},
       {"bare_allow.cpp", Rule::kBareAllow},
   };
   for (const FixtureCase& c : cases)
@@ -58,6 +59,17 @@ TEST(LintFixtures, AnnotatedHazardsScanClean) {
 TEST(LintFixtures, IdiomaticCodeScansClean) {
   const std::vector<Finding> findings = scan_file(fixture_path("clean.cpp"));
   for (const Finding& f : findings) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(LintFixtures, SolverLoopGrowthIsSanctionedByReserveOrAllow) {
+  // BL023's two escape hatches: a reserve() sizing pass earlier in the
+  // file sanctions in-loop growth, and an allow(solve-alloc) with a
+  // rationale sanctions a deliberate cold-path allocation.
+  for (const char* fixture :
+       {"solve_alloc_clean.cpp", "solve_alloc_suppressed.cpp"}) {
+    for (const Finding& f : scan_file(fixture_path(fixture)))
+      ADD_FAILURE() << fixture << ": " << format_finding(f);
+  }
 }
 
 TEST(LintFixtures, BareAllowFlagsMissingRationaleAndUnknownRule) {

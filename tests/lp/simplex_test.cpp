@@ -304,5 +304,91 @@ TEST(SimplexTest, ZeroObjectiveFindsFeasiblePoint) {
   EXPECT_NEAR(s.x[0], 3.0, 1e-8);
 }
 
+// ---- regression tests for the anchored ratio-test tie-break ------------
+// choose_leaving once compared each candidate against a drifting "best so
+// far" window (ratio <= best + eps with best updated inside the scan), so
+// a chain of near-ties could walk the window away from the true minimum
+// ratio and pick a leaving row whose step was strictly negative. The rule
+// is now two-pass: exact minimum first, then the smallest basis index
+// within a fixed epsilon of it. These tests pin that behavior.
+
+TEST(SimplexTest, ExactlyTiedRatiosPickAValidPivot) {
+  // Four rows with the identical minimum ratio for the entering column:
+  // any of them is a legal pivot; the tie-break must stay within the tied
+  // set and reach the optimum. max x + y s.t. x <= 3 (four copies),
+  // x + y <= 5  ->  (3, 2), obj 5... all four x-rows tie at ratio 3.
+  Problem p;
+  p.set_sense(Sense::kMaximize);
+  const int x = p.add_variable("x", 0, kInfinity, 1.0);
+  const int y = p.add_variable("y", 0, kInfinity, 1.0);
+  for (int k = 0; k < 4; ++k)
+    p.add_constraint("cap" + std::to_string(k), {{x, 1.0}},
+                     Relation::kLessEqual, 3.0);
+  p.add_constraint("sum", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 5.0);
+  const Solution s = solve_lp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 5.0, 1e-8);
+}
+
+TEST(SimplexTest, NearTieChainCannotDriftPastTheMinimum) {
+  // Ratios at r, r+eps, r+2*eps, ... with eps just inside the tie window:
+  // under the drifting-window rule the accepted set could creep upward
+  // row by row; the anchored rule only ever admits ratios within one
+  // epsilon of the exact minimum. The solve must end at the true optimum
+  // with a feasible x.
+  Problem p;
+  p.set_sense(Sense::kMaximize);
+  const int x = p.add_variable("x", 0, kInfinity, 1.0);
+  for (int k = 0; k < 6; ++k) {
+    // x <= 2 + k * 4e-13: each successive row's ratio is one near-tie step
+    // above the previous one.
+    p.add_constraint("cap" + std::to_string(k), {{x, 1.0}},
+                     Relation::kLessEqual, 2.0 + 4e-13 * k);
+  }
+  const Solution s = solve_lp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+  EXPECT_LE(s.x[0], 2.0 + 1e-8);  // the binding row is the tightest one
+}
+
+TEST(SimplexTest, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling LP: Dantzig entering with a careless leaving
+  // tie-break cycles forever among degenerate bases. The anchored
+  // tie-break plus the Bland fallback must terminate at the optimum
+  // (objective -1/20).
+  Problem p;
+  const int x1 = p.add_variable("x1", 0, kInfinity, -0.75);
+  const int x2 = p.add_variable("x2", 0, kInfinity, 150.0);
+  const int x3 = p.add_variable("x3", 0, kInfinity, -0.02);
+  const int x4 = p.add_variable("x4", 0, kInfinity, 6.0);
+  p.add_constraint("r1", {{x1, 0.25}, {x2, -60.0}, {x3, -1.0 / 25.0},
+                          {x4, 9.0}},
+                   Relation::kLessEqual, 0.0);
+  p.add_constraint("r2", {{x1, 0.5}, {x2, -90.0}, {x3, -1.0 / 50.0},
+                          {x4, 3.0}},
+                   Relation::kLessEqual, 0.0);
+  p.add_constraint("r3", {{x3, 1.0}}, Relation::kLessEqual, 1.0);
+  const Solution s = solve_lp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, -0.05, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateVertexStillOptimal) {
+  // Three constraints meeting at one degenerate vertex of a 2-D feasible
+  // set: zero-step pivots must not stall or misreport.
+  Problem p;
+  p.set_sense(Sense::kMaximize);
+  const int x = p.add_variable("x", 0, kInfinity, 2.0);
+  const int y = p.add_variable("y", 0, kInfinity, 1.0);
+  p.add_constraint("a", {{x, 1.0}}, Relation::kLessEqual, 1.0);
+  p.add_constraint("b", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 1.0);
+  p.add_constraint("c", {{x, 2.0}, {y, 1.0}}, Relation::kLessEqual, 2.0);
+  const Solution s = solve_lp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-8);
+}
+
 }  // namespace
 }  // namespace billcap::lp

@@ -226,6 +226,13 @@ void parse_faults(const util::CliArgs& args, core::SimulationConfig& config) {
   if (args.has("deadline-ms"))
     config.optimizer.milp.time_limit_ms =
         args.get_positive_double("deadline-ms", 0.0);
+
+  // Hour-over-hour solver warm starts. Like --replan-deadline-ms this
+  // trades bitwise kill/resume reproducibility for speed (a resumed run
+  // starts with empty solver arenas); within one process results stay
+  // deterministic. The flag is mixed into the checkpoint digest so warm
+  // and cold trajectories cannot be silently mixed across a resume.
+  config.optimizer.warm_hourly_solver = args.get_bool("warm-solver", false);
 }
 
 /// Column set of the per-hour CSV (written whole for plain runs, streamed
@@ -888,6 +895,8 @@ int cmd_help() {
       "              --standby [--standby-hours N]  degraded premium-only\n"
       "              mode (no MILP), N committed hours per attempt\n"
       "            --deadline-ms M   hard wall-clock limit per solve\n"
+      "            --warm-solver     hour-over-hour solver warm starts\n"
+      "                              (faster; costs bitwise kill/resume)\n"
       "            --min-premium r   exit 3 if premium throughput < r\n"
       "  serve     overload-safe serving daemon: the month at sub-hour ticks\n"
       "            through a bounded ingest plane, an admission ladder and a\n"

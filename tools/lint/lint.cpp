@@ -14,7 +14,7 @@ namespace {
 
 // ---- rule catalogue --------------------------------------------------------
 
-constexpr std::array<RuleInfo, 10> kRules = {{
+constexpr std::array<RuleInfo, 11> kRules = {{
     {Rule::kWallClock, "BL001", "wall-clock",
      "wall-clock time and ambient PRNGs make a resumed month diverge from "
      "an uninterrupted one"},
@@ -41,6 +41,10 @@ constexpr std::array<RuleInfo, 10> kRules = {{
     {Rule::kUnboundedQueue, "BL022", "unbounded-queue",
      "a container growing inside a loop with no visible bound is an OOM "
      "under overload; serving-path buffers must be capacity-checked"},
+    {Rule::kSolveAlloc, "BL023", "solve-alloc",
+     "the lp solver's loops must not touch the heap — the arena is sized "
+     "before iteration starts; reserve up front or annotate "
+     "allow(solve-alloc)"},
     {Rule::kBareAllow, "BL030", "bare-allow",
      "every suppression must say why the hazard is sanctioned"},
 }};
@@ -565,6 +569,123 @@ std::vector<LoopGrowth> check_unbounded_queues(
   return growths;
 }
 
+// ---- BL023 solve allocation ------------------------------------------------
+//
+// The arena solver's contract is an allocation-free steady state: every
+// tableau row, basis array and branch-and-bound node lives in storage
+// sized before iteration starts. In a translation unit that opens the
+// billcap lp namespace, any loop body (`while` or `for` — the simplex
+// pivots and the node stack drive both) that calls a raw allocator is
+// flagged, and container growth is flagged unless a reserve() sizing
+// pass appears on an earlier line of the file. Like BL022 this is a
+// lexer-grade rule: the reserve does not have to size the exact
+// container that grows — it is evidence the file has a sizing pass, and
+// the differential/property suites are what prove the arena correct.
+
+constexpr std::string_view kAllocCalls[] = {
+    "make_unique", "make_shared", "malloc", "calloc", "realloc",
+};
+
+struct SolveAlloc {
+  std::size_t line = 0;  ///< 0-based line of the offending call
+  std::string call;
+  bool growth = false;   ///< growth call (reserve-sanctionable) vs allocator
+};
+
+bool operator<(const SolveAlloc& a, const SolveAlloc& b) {
+  return a.line != b.line ? a.line < b.line : a.call < b.call;
+}
+
+bool operator==(const SolveAlloc& a, const SolveAlloc& b) {
+  return a.line == b.line && a.call == b.call;
+}
+
+/// Scans the loop whose `while`/`for` keyword ends at `lines[n].code[pos]`,
+/// recording allocator and growth calls in its body. Same windowing as
+/// scan_while_loop: brace-matched, hard-capped so a brace imbalance cannot
+/// make the scan quadratic.
+void scan_solve_loop(const std::vector<LineInfo>& lines, std::size_t n,
+                     std::size_t pos, std::vector<SolveAlloc>& out) {
+  constexpr std::size_t kHeaderWindow = 6;
+  constexpr std::size_t kBodyWindow = 96;
+
+  // Find the close paren of the loop header.
+  int depth = 0;
+  bool in_header = false;
+  std::size_t body_line = n;
+  std::size_t body_col = 0;
+  bool found_close = false;
+  for (std::size_t m = n; m < lines.size() && m < n + kHeaderWindow && !found_close; ++m) {
+    const std::string& code = lines[m].code;
+    for (std::size_t i = m == n ? pos : 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (!in_header) {
+        if (c == '(') {
+          in_header = true;
+          depth = 1;
+        }
+        continue;
+      }
+      if (c == '(') ++depth;
+      if (c == ')' && --depth == 0) {
+        body_line = m;
+        body_col = i + 1;
+        found_close = true;
+        break;
+      }
+    }
+  }
+  if (!found_close) return;
+
+  int braces = 0;
+  bool braced = false;
+  bool done = false;
+  for (std::size_t m = body_line;
+       m < lines.size() && m < body_line + kBodyWindow && !done; ++m) {
+    const std::string& code = lines[m].code;
+    const std::size_t start = m == body_line ? body_col : 0;
+    const std::string_view body(code.data() + start, code.size() - start);
+    for_each_identifier(body, [&](std::string_view tok, std::size_t at) {
+      if (tok == "new") {
+        out.push_back({m, "new", false});
+      } else if (contains(kAllocCalls, tok) &&
+                 followed_by_call(body, at + tok.size())) {
+        out.push_back({m, std::string(tok), false});
+      } else if (contains(kGrowthCalls, tok) && at > 0 &&
+                 (body[at - 1] == '.' || body[at - 1] == '>') &&
+                 followed_by_call(body, at + tok.size())) {
+        out.push_back({m, std::string(tok), true});
+      }
+    });
+    for (std::size_t i = start; i < code.size(); ++i) {
+      if (code[i] == '{') {
+        ++braces;
+        braced = true;
+      } else if (code[i] == '}') {
+        if (braced && --braces == 0) done = true;
+      } else if (code[i] == ';' && !braced) {
+        done = true;  // single-statement body
+      }
+    }
+  }
+}
+
+/// BL023 pass over the whole translation unit. Nested loops scan inner
+/// bodies once per enclosing loop, so findings are deduped by position.
+std::vector<SolveAlloc> check_solve_alloc(const std::vector<LineInfo>& lines) {
+  std::vector<SolveAlloc> found;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    for_each_identifier(lines[n].code, [&](std::string_view tok,
+                                           std::size_t pos) {
+      if (tok == "while" || tok == "for")
+        scan_solve_loop(lines, n, pos + tok.size(), found);
+    });
+  }
+  std::sort(found.begin(), found.end());
+  found.erase(std::unique(found.begin(), found.end()), found.end());
+  return found;
+}
+
 void check_todo(std::string_view comment, std::vector<std::string>& hits) {
   const bool todo = comment.find("TODO") != std::string_view::npos ||
                     comment.find("FIXME") != std::string_view::npos;
@@ -580,7 +701,7 @@ void check_todo(std::string_view comment, std::vector<std::string>& hits) {
 
 // ---- public API ------------------------------------------------------------
 
-const std::array<RuleInfo, 10>& rule_table() { return kRules; }
+const std::array<RuleInfo, 11>& rule_table() { return kRules; }
 
 const RuleInfo& info(Rule rule) {
   for (const RuleInfo& r : kRules)
@@ -614,6 +735,10 @@ std::vector<Finding> scan_source(std::string_view path,
       text.find("core/exit_codes.hpp") != std::string_view::npos;
   const bool journal_user =
       text.find("util/journal.hpp") != std::string_view::npos;
+  // The literal is split so the scanner's own source does not gate itself
+  // into the solver rule.
+  const bool lp_solver_tu =
+      text.find("namespace billcap::" "lp") != std::string_view::npos;
 
   std::vector<Finding> findings;
   const auto emit = [&](std::size_t n, Rule rule,
@@ -662,6 +787,35 @@ std::vector<Finding> scan_source(std::string_view path,
                "bound — cap it, drain it, or check capacity before pushing "
                "(the ingest plane's BoundedQueue shape), or annotate "
                "allow(unbounded-queue)"});
+  }
+
+  if (lp_solver_tu) {
+    // Growth is sanctioned by a reserve() sizing pass on an earlier line;
+    // raw allocators in a loop body are flagged unconditionally.
+    std::size_t first_reserve = lines.size();
+    for (std::size_t n = 0; n < lines.size() && first_reserve == lines.size();
+         ++n) {
+      for_each_identifier(lines[n].code, [&](std::string_view tok,
+                                             std::size_t pos) {
+        if (tok == "reserve" && followed_by_call(lines[n].code, pos + 7))
+          first_reserve = std::min(first_reserve, n);
+      });
+    }
+    for (const SolveAlloc& a : check_solve_alloc(lines)) {
+      if (a.growth && first_reserve <= a.line) continue;
+      if (suppress.allowed[a.line].count(Rule::kSolveAlloc)) continue;
+      findings.push_back(
+          {std::string(path), a.line + 1, Rule::kSolveAlloc,
+           a.growth
+               ? "'" + a.call +
+                     "' grows a container inside a solver loop with no "
+                     "reserve() sizing pass earlier in the file — size the "
+                     "arena before iterating or annotate allow(solve-alloc)"
+               : "'" + a.call +
+                     "' allocates inside a solver loop — the solver's steady "
+                     "state must not touch the heap; move the allocation to "
+                     "setup or annotate allow(solve-alloc)"});
+    }
   }
 
   for (Finding& f : suppress.bare_allow_findings)

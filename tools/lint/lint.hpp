@@ -37,6 +37,7 @@ enum class Rule {
   kCatchAll,       ///< BL020: catch (...) that swallows silently
   kTodoIssue,      ///< BL021: to-do marker without an issue reference
   kUnboundedQueue, ///< BL022: container growth in a loop with no bound
+  kSolveAlloc,     ///< BL023: heap allocation in the lp solver's loops
   kBareAllow,      ///< BL030: allow annotation without a rationale
 };
 
@@ -48,7 +49,7 @@ struct RuleInfo {
 };
 
 /// All rules, in report order.
-const std::array<RuleInfo, 10>& rule_table();
+const std::array<RuleInfo, 11>& rule_table();
 
 /// Info for a rule; never fails (the enum is the index).
 const RuleInfo& info(Rule rule);
