@@ -25,6 +25,8 @@ const char* to_string(FailureReason reason) noexcept {
     case FailureReason::kTimeLimit: return "time_limit";
     case FailureReason::kInfeasible: return "infeasible";
     case FailureReason::kUnbounded: return "unbounded";
+    case FailureReason::kArenaExhausted: return "arena_exhausted";
+    case FailureReason::kThrown: return "thrown";
   }
   return "unknown";
 }
@@ -39,11 +41,7 @@ FailureReason failure_reason_from(lp::SolveStatus status) noexcept {
     case lp::SolveStatus::kInfeasible: return FailureReason::kInfeasible;
     case lp::SolveStatus::kUnbounded: return FailureReason::kUnbounded;
     case lp::SolveStatus::kArenaExhausted:
-      // The arena byte cap behaves like a resource/iteration budget: the
-      // solver gave up without an answer, the degradation ladder takes over.
-      // Mapped rather than given its own FailureReason because the
-      // kFailureReasonCount tally is persisted in checkpoints.
-      return FailureReason::kIterationLimit;
+      return FailureReason::kArenaExhausted;
   }
   return FailureReason::kInfeasible;
 }
@@ -112,6 +110,9 @@ CappingOutcome BillCapper::decide(double lambda_premium,
   OptimizerOptions opts = options_;
   if (overrides.time_limit_ms >= 0.0)
     opts.milp.time_limit_ms = overrides.time_limit_ms;
+  if (overrides.max_nodes >= 0) opts.milp.max_nodes = overrides.max_nodes;
+  if (overrides.max_arena_bytes != 0)
+    opts.milp.max_arena_bytes = overrides.max_arena_bytes;
 
   std::vector<SiteModel> models;
   models.reserve(sites_.size());

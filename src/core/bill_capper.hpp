@@ -19,10 +19,12 @@ enum class FailureReason {
   kTimeLimit,       ///< wall-clock solver deadline expired
   kInfeasible,      ///< solver reported infeasible (numerical trouble)
   kUnbounded,       ///< solver reported unbounded (model corruption)
+  kArenaExhausted,  ///< solver arena byte cap hit (lp::kArenaExhausted)
+  kThrown,          ///< chunk task threw; caught at the fault envelope
 };
 
 /// Number of FailureReason values (for per-reason tally arrays).
-inline constexpr std::size_t kFailureReasonCount = 6;
+inline constexpr std::size_t kFailureReasonCount = 8;
 
 const char* to_string(FailureReason reason) noexcept;
 
@@ -68,6 +70,14 @@ struct DecideOptions {
   /// Wall-clock deadline for each MILP solve this hour; >= 0 overrides the
   /// configured MilpOptions::time_limit_ms, < 0 keeps it.
   double time_limit_ms = -1.0;
+  /// Branch-and-bound node budget for each MILP solve this hour; >= 0
+  /// overrides MilpOptions::max_nodes, < 0 keeps it. The fleet layer's
+  /// primary (deterministic) chunk deadline.
+  long max_nodes = -1;
+  /// Per-solve arena byte cap; nonzero tightens
+  /// MilpOptions::max_arena_bytes for this hour's solves (arena exhaustion
+  /// degrades the chunk with FailureReason::kArenaExhausted).
+  std::size_t max_arena_bytes = 0;
   /// Degraded standby mode: skip the MILP entirely and serve only the
   /// premium workload via the greedy fallback allocator (the supervisor's
   /// escalation target when the primary keeps dying). The outcome is

@@ -270,6 +270,17 @@ void save_checkpoint(const std::string& path, const CheckpointState& state) {
     }
     journal.set(keys::kFailureTally, tally.str());
   }
+  journal.set_size(keys::kDegradedChunks, r.degraded_chunks);
+  journal.set_size(keys::kQuarantinedChunks, r.quarantined_chunks);
+  journal.set_size(keys::kRegionDownChunks, r.region_down_chunks);
+  {
+    std::ostringstream tally;
+    for (std::size_t i = 0; i < r.chunk_failure_tally.size(); ++i) {
+      if (i) tally << ' ';
+      tally << r.chunk_failure_tally[i];
+    }
+    journal.set(keys::kChunkFailureTally, tally.str());
+  }
 
   journal.set_size(keys::kHours, r.hours.size());
   for (std::size_t i = 0; i < r.hours.size(); ++i)
@@ -322,6 +333,23 @@ CheckpointState load_checkpoint(const std::string& path) {
     for (std::size_t i = 0; i < r.failure_tally.size(); ++i)
       if (!(tally >> r.failure_tally[i]))
         throw std::runtime_error("checkpoint: malformed failure_tally");
+  }
+  // Written since the fleet-controller format; absent means a pre-fleet
+  // checkpoint whose month had no chunk solves to count.
+  r.degraded_chunks = journal.has(keys::kDegradedChunks)
+                          ? journal.get_size(keys::kDegradedChunks)
+                          : 0;
+  r.quarantined_chunks = journal.has(keys::kQuarantinedChunks)
+                             ? journal.get_size(keys::kQuarantinedChunks)
+                             : 0;
+  r.region_down_chunks = journal.has(keys::kRegionDownChunks)
+                             ? journal.get_size(keys::kRegionDownChunks)
+                             : 0;
+  if (journal.has(keys::kChunkFailureTally)) {
+    std::istringstream tally(journal.get(keys::kChunkFailureTally));
+    for (std::size_t i = 0; i < r.chunk_failure_tally.size(); ++i)
+      if (!(tally >> r.chunk_failure_tally[i]))
+        throw std::runtime_error("checkpoint: malformed chunk_failure_tally");
   }
 
   const std::size_t hours = journal.get_size(keys::kHours);

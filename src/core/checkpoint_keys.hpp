@@ -44,6 +44,11 @@ inline constexpr const char* kFeedRetryAttempts = "feed_retry_attempts";
 inline constexpr const char* kFeedRecoveredHours = "feed_recovered_hours";
 inline constexpr const char* kCrashRecoveries = "crash_recoveries";
 inline constexpr const char* kFailureTally = "failure_tally";
+// Fleet-mode chunk counters (zero and harmless for classic months).
+inline constexpr const char* kDegradedChunks = "degraded_chunks";
+inline constexpr const char* kQuarantinedChunks = "quarantined_chunks";
+inline constexpr const char* kRegionDownChunks = "region_down_chunks";
+inline constexpr const char* kChunkFailureTally = "chunk_failure_tally";
 inline constexpr const char* kHours = "hours";
 
 // ---- serve-mode checkpoint -------------------------------------------------

@@ -56,8 +56,14 @@ FaultPlan generate_fault_plan(const FaultRates& rates,
 
 FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_sites,
                              std::size_t horizon_hours)
+    : FaultInjector(plan, num_sites, 0, horizon_hours) {}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_sites,
+                             std::size_t num_regions,
+                             std::size_t horizon_hours)
     : enabled_(!plan.empty()),
       num_sites_(num_sites),
+      num_regions_(num_regions),
       horizon_(horizon_hours) {
   if (!enabled_) return;
   down_.assign(num_sites_ * horizon_, 0);
@@ -112,6 +118,34 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_sites,
                             ? squeeze.time_limit_ms
                             : std::min(deadline_ms_[h], squeeze.time_limit_ms);
   }
+
+  if (num_regions_ == 0) return;
+  region_down_.assign(num_regions_ * horizon_, 0);
+  stall_nodes_.assign(num_regions_ * horizon_, 0);
+  squeeze_bytes_.assign(num_regions_ * horizon_, 0);
+  for (const auto& outage : plan.region_outages) {
+    if (outage.region >= num_regions_) continue;
+    for (std::size_t h = outage.start_hour;
+         h < clip_end(outage.start_hour, outage.duration_hours); ++h)
+      region_down_[outage.region * horizon_ + h] = 1;
+  }
+  for (const auto& stall : plan.chunk_stalls) {
+    if (stall.region >= num_regions_ || stall.node_budget <= 0) continue;
+    for (std::size_t h = stall.start_hour;
+         h < clip_end(stall.start_hour, stall.duration_hours); ++h) {
+      long& slot = stall_nodes_[stall.region * horizon_ + h];
+      slot = slot == 0 ? stall.node_budget : std::min(slot, stall.node_budget);
+    }
+  }
+  for (const auto& squeeze : plan.chunk_squeezes) {
+    if (squeeze.region >= num_regions_ || squeeze.arena_bytes == 0) continue;
+    for (std::size_t h = squeeze.start_hour;
+         h < clip_end(squeeze.start_hour, squeeze.duration_hours); ++h) {
+      std::size_t& slot = squeeze_bytes_[squeeze.region * horizon_ + h];
+      slot = slot == 0 ? squeeze.arena_bytes
+                       : std::min(slot, squeeze.arena_bytes);
+    }
+  }
 }
 
 bool FaultInjector::site_available(std::size_t site,
@@ -157,6 +191,27 @@ double FaultInjector::arrival_multiplier(std::size_t hour) const noexcept {
 std::size_t FaultInjector::feed_burst_updates(std::size_t hour) const noexcept {
   if (!enabled_ || hour >= horizon_) return 0;
   return burst_updates_[hour];
+}
+
+bool FaultInjector::region_down(std::size_t region,
+                                std::size_t hour) const noexcept {
+  if (region_down_.empty() || region >= num_regions_ || hour >= horizon_)
+    return false;
+  return region_down_[region * horizon_ + hour] != 0;
+}
+
+long FaultInjector::chunk_node_budget(std::size_t region,
+                                      std::size_t hour) const noexcept {
+  if (stall_nodes_.empty() || region >= num_regions_ || hour >= horizon_)
+    return 0;
+  return stall_nodes_[region * horizon_ + hour];
+}
+
+std::size_t FaultInjector::chunk_arena_bytes(std::size_t region,
+                                             std::size_t hour) const noexcept {
+  if (squeeze_bytes_.empty() || region >= num_regions_ || hour >= horizon_)
+    return 0;
+  return squeeze_bytes_[region * horizon_ + hour];
 }
 
 }  // namespace billcap::core

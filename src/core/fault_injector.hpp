@@ -98,6 +98,38 @@ struct FaultPlan {
     std::size_t hour = 0;
   };
 
+  /// A whole region drops off the fleet for the interval (shared substation
+  /// or backbone failure — every site in the region is down at once, so a
+  /// per-site outage draw would essentially never produce it). Region
+  /// indices follow the FleetController's region catalog.
+  struct RegionOutage {
+    std::size_t region = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+  };
+
+  /// One region's chunk solver stalls: every MILP solve for that chunk gets
+  /// a crushing branch-and-bound node budget for the interval (a sick
+  /// control node grinding through swap). The chunk's deadline envelope
+  /// must degrade it locally — the fleet hour still completes.
+  struct ChunkSolverStall {
+    std::size_t region = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    long node_budget = 1;  ///< per-solve max_nodes while stalled
+  };
+
+  /// One region's solver arena is squeezed to `arena_bytes` for the
+  /// interval (memory pressure on that chunk's control node). Solves hit
+  /// lp::SolveStatus::kArenaExhausted and the chunk degrades with
+  /// FailureReason::kArenaExhausted.
+  struct ChunkArenaSqueeze {
+    std::size_t region = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    std::size_t arena_bytes = 1;
+  };
+
   std::vector<SiteOutage> outages;
   std::vector<StaleInterval> stale_intervals;
   std::vector<DemandShock> demand_shocks;
@@ -107,13 +139,17 @@ struct FaultPlan {
   std::vector<CheckpointCorruption> checkpoint_corruptions;
   std::vector<FlashCrowd> flash_crowds;
   std::vector<FeedBurst> feed_bursts;
+  std::vector<RegionOutage> region_outages;
+  std::vector<ChunkSolverStall> chunk_stalls;
+  std::vector<ChunkArenaSqueeze> chunk_squeezes;
 
   bool empty() const noexcept {
     return outages.empty() && stale_intervals.empty() &&
            demand_shocks.empty() && deadline_squeezes.empty() &&
            crashes.empty() && exit_storms.empty() &&
            checkpoint_corruptions.empty() && flash_crowds.empty() &&
-           feed_bursts.empty();
+           feed_bursts.empty() && region_outages.empty() &&
+           chunk_stalls.empty() && chunk_squeezes.empty();
   }
 };
 
@@ -156,6 +192,13 @@ class FaultInjector {
   FaultInjector(const FaultPlan& plan, std::size_t num_sites,
                 std::size_t horizon_hours);
 
+  /// Fleet-aware injector: also precomputes the region-scoped kinds
+  /// (RegionOutage / ChunkSolverStall / ChunkArenaSqueeze) against
+  /// `num_regions` chunk slots. The 3-argument constructor leaves those
+  /// kinds inert (queries report "no fault").
+  FaultInjector(const FaultPlan& plan, std::size_t num_sites,
+                std::size_t num_regions, std::size_t horizon_hours);
+
   bool enabled() const noexcept { return enabled_; }
 
   bool site_available(std::size_t site, std::size_t hour) const noexcept;
@@ -181,9 +224,20 @@ class FaultInjector {
   /// (feed bursts; overlapping bursts add). 0 when calm.
   std::size_t feed_burst_updates(std::size_t hour) const noexcept;
 
+  /// True when the whole region is down this hour (RegionOutage).
+  bool region_down(std::size_t region, std::size_t hour) const noexcept;
+  /// Stalled chunk's per-solve node budget; 0 = no stall. Overlapping
+  /// stalls: the tightest (smallest) budget wins.
+  long chunk_node_budget(std::size_t region, std::size_t hour) const noexcept;
+  /// Squeezed chunk's per-solve arena byte cap; 0 = no squeeze.
+  /// Overlapping squeezes: the tightest cap wins.
+  std::size_t chunk_arena_bytes(std::size_t region,
+                                std::size_t hour) const noexcept;
+
  private:
   bool enabled_ = false;
   std::size_t num_sites_ = 0;
+  std::size_t num_regions_ = 0;
   std::size_t horizon_ = 0;
   std::vector<std::uint8_t> down_;          // [site * horizon + hour]
   std::vector<std::size_t> observed_hour_;  // [hour]
@@ -191,6 +245,9 @@ class FaultInjector {
   std::vector<double> deadline_ms_;         // [hour]
   std::vector<double> arrival_mult_;        // [hour]
   std::vector<std::size_t> burst_updates_;  // [hour]
+  std::vector<std::uint8_t> region_down_;   // [region * horizon + hour]
+  std::vector<long> stall_nodes_;           // [region * horizon + hour]
+  std::vector<std::size_t> squeeze_bytes_;  // [region * horizon + hour]
 };
 
 }  // namespace billcap::core

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/fault_injector.hpp"
+#include "core/hierarchical.hpp"
+#include "core/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace billcap::core {
+
+/// How a region's chunk solve ended this fleet hour.
+enum class ChunkStatus {
+  kOk,           ///< clean solve on the top rung
+  kDegraded,     ///< deadline / arena / throw — fell down the ladder locally
+  kQuarantined,  ///< region pinned to premium-only standby by the ladder
+  kRegionDown,   ///< RegionOutage: the whole region served nothing
+};
+
+const char* to_string(ChunkStatus status) noexcept;
+
+/// Per-chunk solve deadline. The node budget is the primary limit — it is
+/// deterministic (the same solve always burns the same nodes), so results
+/// stay bitwise-identical across hosts and thread counts. The wall-clock
+/// assist mirrors serve's re-plan engine: off by default, opt-in for
+/// latency-sensitive deployments that accept losing determinism.
+struct ChunkDeadline {
+  long max_nodes = 20'000;     ///< per-solve branch-and-bound budget
+  double wall_clock_ms = 0.0;  ///< > 0 adds a wall-clock ceiling per solve
+};
+
+/// Sliding-window quarantine, mirroring SupervisorPolicy's restart budget:
+/// `trip_failures` degraded chunks within the last `window_hours` pin the
+/// region to premium-only standby for `quarantine_hours`, after which it
+/// gets a clean probation window.
+struct QuarantineOptions {
+  std::size_t window_hours = 8;
+  std::size_t trip_failures = 3;
+  std::size_t quarantine_hours = 4;
+};
+
+struct FleetOptions {
+  OptimizerOptions optimizer;
+  ChunkDeadline deadline;
+  QuarantineOptions quarantine;
+};
+
+/// One region's contribution to a fleet hour.
+struct ChunkOutcome {
+  std::size_t region = 0;
+  ChunkStatus status = ChunkStatus::kOk;
+  FailureReason failure = FailureReason::kNone;
+  CappingOutcome outcome;
+};
+
+/// The merged fleet hour: the same global view HierarchicalOutcome carries,
+/// plus the per-chunk fault accounting.
+struct FleetHourOutcome {
+  CappingOutcome::Mode mode = CappingOutcome::Mode::kUncapped;
+  double served_premium = 0.0;
+  double served_ordinary = 0.0;
+  double predicted_cost = 0.0;
+  double dropped_capacity = 0.0;
+  std::vector<double> site_lambda;  ///< global site order
+  std::vector<ChunkOutcome> chunks;
+  std::size_t degraded_chunks = 0;
+  std::size_t quarantined_chunks = 0;
+  std::size_t region_down_chunks = 0;
+};
+
+/// A synthetic scenario-month for the fleet: deterministic in `seed`, with
+/// sinusoidal-plus-noise arrivals and per-site background demand. All
+/// random draws happen serially in hour order before any chunk dispatch,
+/// so the month is a pure function of this config regardless of threads.
+struct FleetMonthConfig {
+  std::size_t hours = 24;
+  std::uint64_t seed = 0;
+  double base_premium = 0.0;     ///< mean premium arrivals/hour
+  double base_ordinary = 0.0;    ///< mean ordinary arrivals/hour
+  double base_demand_mw = 5.0;   ///< mean per-site background demand
+  double hourly_budget = 0.0;    ///< flat per-hour budget
+  FaultPlan faults;              ///< region-scoped kinds welcome
+};
+
+/// Fault-isolated parallel fleet controller: the 100-site scale-out layer
+/// on top of HierarchicalCapper. Each hour the coordinator splits workload
+/// and budget across regions exactly like the hierarchical capper, then
+/// shards one chunk solve per region across a util::ThreadPool (or runs
+/// them inline with no pool). Every chunk solve runs inside a fault
+/// envelope:
+///
+///   - a per-chunk deadline (node budget primary, wall-clock assist),
+///   - typed failure classification (timeout / infeasible / arena-exhausted
+///     / thrown),
+///   - automatic degradation to the greedy fallback (BillCapper's ladder)
+///     or, when the chunk's own envelope trips, premium-only standby —
+///     a failed region sheds locally and never poisons the fleet hour,
+///   - a sliding-window quarantine that pins repeatedly-failing regions to
+///     premium-only standby until they recover.
+///
+/// Determinism: chunk results are reduced in region-index order, each
+/// region's solver arena is touched by exactly one task per hour, and no
+/// accumulation happens under locks — decide_hour is bitwise-identical for
+/// any thread count, including none.
+class FleetController {
+ public:
+  /// `pool` may be null (chunks solve inline, serially). The caller keeps
+  /// sites/policies/pool alive for the controller's lifetime.
+  FleetController(const std::vector<datacenter::DataCenter>& sites,
+                  const std::vector<market::PricingPolicy>& policies,
+                  std::vector<Region> regions, FleetOptions options = {},
+                  util::ThreadPool* pool = nullptr);
+
+  std::size_t num_regions() const noexcept { return hier_.num_regions(); }
+  std::size_t num_sites() const noexcept { return num_sites_; }
+
+  /// True when the region is quarantined for the *next* decide_hour call.
+  bool region_quarantined(std::size_t region, std::size_t hour) const;
+
+  /// Decides one fleet hour. `injector` may be null (no faults); pass one
+  /// built with the region-aware constructor to exercise RegionOutage /
+  /// ChunkSolverStall / ChunkArenaSqueeze. Never throws on chunk trouble —
+  /// only on caller bugs (size mismatches).
+  FleetHourOutcome decide_hour(std::size_t hour, double lambda_premium,
+                               double lambda_ordinary,
+                               std::span<const double> other_demand_mw,
+                               double hourly_budget,
+                               const FaultInjector* injector = nullptr);
+
+  /// Runs a synthetic scenario-month through decide_hour and aggregates a
+  /// MonthlyResult (chunk counters filled in; `cost` is the coordinator's
+  /// predicted cost — the fleet bench compares months, not billing).
+  MonthlyResult run_month(const FleetMonthConfig& config);
+
+  /// Test seam: called inside each chunk's fault envelope, before the
+  /// solve; may throw to exercise the kThrown classification
+  /// deterministically. Null in production.
+  std::function<void(std::size_t region, std::size_t hour)> chunk_fault_hook;
+
+ private:
+  struct ChunkInput;
+  struct QuarantineState {
+    std::vector<std::size_t> recent_failures;  ///< hour stamps, pruned
+    std::size_t quarantined_until = 0;         ///< hour < this => standby
+  };
+
+  ChunkOutcome run_chunk(const ChunkInput& input) const;
+
+  const std::vector<datacenter::DataCenter>& sites_;
+  const std::vector<market::PricingPolicy>& policies_;
+  FleetOptions options_;
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t num_sites_ = 0;
+  HierarchicalCapper hier_;
+  std::vector<QuarantineState> quarantine_;
+};
+
+/// Bitwise-stable CSV rendering of a fleet month: one row per hour with
+/// shortest-round-trip doubles and an FNV-1a hash of the hour's site_lambda
+/// double bits. Two runs are bitwise-identical iff their CSVs are equal —
+/// the thread-count invariance test and the bench digest both key on this.
+std::string fleet_month_csv(const MonthlyResult& result);
+
+}  // namespace billcap::core

@@ -108,6 +108,12 @@ HierarchicalOutcome HierarchicalCapper::decide(
     out.predicted_cost += regional.allocation.predicted_cost;
     out.dropped_capacity += regional.dropped_capacity;
     out.mode = std::max(out.mode, regional.mode);
+    if (regional.degraded) {
+      out.degraded = true;
+      if (out.failure == FailureReason::kNone) out.failure = regional.failure;
+      out.degraded_regions.push_back(r);
+      out.failure_tally[static_cast<std::size_t>(regional.failure)] += 1;
+    }
     const auto lambdas = regional.allocation.lambda_vector();
     for (std::size_t k = 0; k < regions_[r].site_indices.size(); ++k)
       out.site_lambda[regions_[r].site_indices[k]] = lambdas[k];

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,16 @@ struct HierarchicalOutcome {
   double dropped_capacity = 0.0;
   std::vector<double> site_lambda;           ///< global site order
   std::vector<CappingOutcome> region_outcomes;
+
+  /// Per-region failure surfacing: which regions degraded and why, so the
+  /// merge does not reduce a region-local solver failure to just the worst
+  /// Mode. `failure` is the first degraded region's root cause (region
+  /// order — deterministic), `failure_tally` counts every degraded region
+  /// by reason, `degraded_regions` lists their indices.
+  bool degraded = false;
+  FailureReason failure = FailureReason::kNone;
+  std::vector<std::size_t> degraded_regions;
+  std::array<std::size_t, kFailureReasonCount> failure_tally{};
 };
 
 /// The two-level bill capping architecture sketched in Section IX: a thin
@@ -45,6 +56,16 @@ class HierarchicalCapper {
                      OptimizerOptions options = {});
 
   std::size_t num_regions() const noexcept { return regions_.size(); }
+
+  const Region& region(std::size_t r) const { return regions_.at(r); }
+
+  /// The persistent per-region capper (its solver arenas carry warm state
+  /// hour over hour). Not thread-safe: at most one thread may drive a given
+  /// region's capper at a time — the FleetController shards exactly one
+  /// task per region per hour for this reason.
+  const BillCapper& region_capper(std::size_t r) const {
+    return region_cappers_.at(r);
+  }
 
   /// Splits and decides. Arguments mirror BillCapper::decide.
   HierarchicalOutcome decide(double lambda_premium, double lambda_ordinary,

@@ -171,6 +171,12 @@ Simulator::Simulator(SimulationConfig config)
     plan_.flash_crowds = explicit_plan.flash_crowds;
   if (!explicit_plan.feed_bursts.empty())
     plan_.feed_bursts = explicit_plan.feed_bursts;
+  if (!explicit_plan.region_outages.empty())
+    plan_.region_outages = explicit_plan.region_outages;
+  if (!explicit_plan.chunk_stalls.empty())
+    plan_.chunk_stalls = explicit_plan.chunk_stalls;
+  if (!explicit_plan.chunk_squeezes.empty())
+    plan_.chunk_squeezes = explicit_plan.chunk_squeezes;
   if (!plan_.empty())
     injector_ = FaultInjector(plan_, sites_.size(), evaluation_.hours());
 }

@@ -133,6 +133,14 @@ struct MonthlyResult {
   /// Root-cause tally of degraded hours, indexed by FailureReason.
   std::array<std::size_t, kFailureReasonCount> failure_tally{};
 
+  /// Fleet-mode chunk counters (FleetController months; zero for the
+  /// classic single-capper loop). A "chunk" is one region-hour solve.
+  std::size_t degraded_chunks = 0;     ///< chunk solves that fell off optimal
+  std::size_t quarantined_chunks = 0;  ///< chunk-hours pinned to standby
+  std::size_t region_down_chunks = 0;  ///< chunk-hours lost to RegionOutage
+  /// Root-cause tally of degraded chunk solves, indexed by FailureReason.
+  std::array<std::size_t, kFailureReasonCount> chunk_failure_tally{};
+
   /// Market-feed client counters: total re-polls issued and hours where a
   /// retry landed mid-interval (fresh data instead of a frozen feed).
   std::size_t feed_retry_attempts = 0;

@@ -1182,7 +1182,26 @@ ArenaSolver::ArenaSolver(ArenaSolver&&) noexcept = default;
 ArenaSolver& ArenaSolver::operator=(ArenaSolver&&) noexcept = default;
 
 Solution ArenaSolver::solve(const Problem& problem, const MilpOptions& options) {
-  return impl_->solve(problem, options);
+  // A per-call cap (MilpOptions::max_arena_bytes) tightens the lifetime cap
+  // for this solve only; the lifetime value is restored before returning so
+  // one squeezed chunk solve cannot shrink the arena for later hours.
+  const std::size_t lifetime_cap = config_.max_arena_bytes;
+  std::size_t effective = lifetime_cap;
+  if (options.max_arena_bytes != 0 &&
+      (effective == 0 || options.max_arena_bytes < effective)) {
+    effective = options.max_arena_bytes;
+  }
+  // An arena already holding more than the squeezed cap is exhausted by
+  // definition — a warm pool would otherwise sail past the growth checks.
+  if (effective != 0 && impl_->footprint() > effective) {
+    Solution sol;
+    sol.status = SolveStatus::kArenaExhausted;
+    return sol;
+  }
+  impl_->config.max_arena_bytes = effective;
+  Solution sol = impl_->solve(problem, options);
+  impl_->config.max_arena_bytes = lifetime_cap;
+  return sol;
 }
 
 void ArenaSolver::invalidate() noexcept {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 #include "lp/problem.hpp"
 #include "lp/simplex.hpp"
 
@@ -17,6 +19,12 @@ struct MilpOptions {
   /// found so far is returned with SolveStatus::kTimeLimit (an hourly
   /// control loop must never block on one stubborn solve).
   double time_limit_ms = 0.0;
+  /// Per-solve arena byte cap; 0 leaves the solver's lifetime cap
+  /// (ArenaConfig::max_arena_bytes) in charge. A nonzero value tightens the
+  /// cap for this call only — the fleet layer uses it to squeeze one chunk's
+  /// solve without reconfiguring the warm arena it shares across hours.
+  /// Exhaustion surfaces as SolveStatus::kArenaExhausted, never a throw.
+  std::size_t max_arena_bytes = 0;
   SimplexOptions lp;               ///< options for each relaxation solve
 };
 

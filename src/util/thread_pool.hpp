@@ -6,10 +6,30 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace billcap::util {
+
+/// Outcome of a task submitted through `submit_noexcept`: either the task's
+/// return value or the `what()` of the exception it threw. Workers never
+/// terminate the process on a throwing task — the error travels back to the
+/// submitter as data, the same way `CappingOutcome.failure` carries solver
+/// trouble instead of an exception.
+template <typename R>
+struct TaskResult {
+  bool ok = false;
+  R value{};
+  std::string error;
+};
+
+template <>
+struct TaskResult<void> {
+  bool ok = false;
+  std::string error;
+};
 
 /// Fixed-size worker pool. The sweep benches (pricing policies, monthly
 /// budgets) and the Monte-Carlo property tests run independent month-long
@@ -44,6 +64,35 @@ class ThreadPool {
     return fut;
   }
 
+  /// Enqueues a task whose exceptions are converted into a typed
+  /// `TaskResult` instead of being rethrown from `future::get()`. Use this
+  /// for fan-out work where one bad shard must not abort the reduction —
+  /// the caller inspects `ok`/`error` per task and degrades locally.
+  template <typename F>
+  auto submit_noexcept(F&& fn)
+      -> std::future<TaskResult<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    return submit(
+        [task = std::forward<F>(fn)]() mutable -> TaskResult<R> {
+          TaskResult<R> result;
+          try {
+            if constexpr (std::is_void_v<R>) {
+              task();
+            } else {
+              result.value = task();
+            }
+            result.ok = true;
+          } catch (const std::exception& ex) {
+            result.error = ex.what();
+          } catch (...) {  // billcap-lint: allow(catch-all): typed TaskResult
+            // boundary — unknown exception becomes an error string, never
+            // an aborted worker thread.
+            result.error = "unknown exception";
+          }
+          return result;
+        });
+  }
+
  private:
   void worker_loop();
 
@@ -54,8 +103,9 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs fn(i) for i in [0, n) on the pool, blocking until all complete.
-/// Exceptions from tasks are rethrown (first one wins).
+/// Runs fn(i) for i in [0, n) on the pool, blocking until ALL tasks have
+/// completed (even when some throw — pending tasks reference `fn`, so an
+/// early return would dangle). The first exception is then rethrown.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,272 @@
+// FleetController: per-chunk fault envelopes, quarantine ladder, and
+// bitwise thread-count invariance. The 6-site fixture mirrors
+// hierarchical_test; the invariance test scales to 100 sites / 20 regions.
+#include "core/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "datacenter/catalog.hpp"
+#include "market/pricing_policy.hpp"
+#include "util/thread_pool.hpp"
+
+namespace billcap::core {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  FleetTest() {
+    const auto base_sites = datacenter::paper_datacenters();
+    const auto base_policies = market::paper_policies(1);
+    for (int rep = 0; rep < 2; ++rep) {
+      for (std::size_t i = 0; i < base_sites.size(); ++i) {
+        sites_.push_back(base_sites[i]);
+        policies_.push_back(base_policies[i]);
+        demand_.push_back(170.0 + 25.0 * rep + 10.0 * static_cast<double>(i));
+      }
+    }
+  }
+
+  FleetController make_controller(FleetOptions options = {},
+                                  util::ThreadPool* pool = nullptr) {
+    return FleetController(sites_, policies_, contiguous_regions(6, 3),
+                           options, pool);
+  }
+
+  std::vector<datacenter::DataCenter> sites_;
+  std::vector<market::PricingPolicy> policies_;
+  std::vector<double> demand_;
+};
+
+TEST_F(FleetTest, ServesEverythingWithAmpleBudget) {
+  FleetController fleet = make_controller();
+  const FleetHourOutcome out = fleet.decide_hour(0, 8e11, 2e11, demand_, 1e7);
+  EXPECT_EQ(out.mode, CappingOutcome::Mode::kUncapped);
+  EXPECT_NEAR(out.served_premium, 8e11, 1e3);
+  EXPECT_NEAR(out.served_ordinary, 2e11, 1e3);
+  ASSERT_EQ(out.chunks.size(), 2u);
+  for (const ChunkOutcome& chunk : out.chunks)
+    EXPECT_EQ(chunk.status, ChunkStatus::kOk);
+  EXPECT_EQ(out.degraded_chunks, 0u);
+  EXPECT_EQ(out.quarantined_chunks, 0u);
+  EXPECT_EQ(out.region_down_chunks, 0u);
+}
+
+TEST_F(FleetTest, PooledAndSerialHoursAreBitwiseIdentical) {
+  util::ThreadPool pool(4);
+  FleetController serial = make_controller();
+  FleetController threaded = make_controller({}, &pool);
+  const FleetHourOutcome a = serial.decide_hour(0, 8e11, 2e11, demand_, 1e7);
+  const FleetHourOutcome b = threaded.decide_hour(0, 8e11, 2e11, demand_, 1e7);
+  EXPECT_EQ(a.served_premium, b.served_premium);    // bitwise, not NEAR
+  EXPECT_EQ(a.served_ordinary, b.served_ordinary);
+  EXPECT_EQ(a.predicted_cost, b.predicted_cost);
+  ASSERT_EQ(a.site_lambda.size(), b.site_lambda.size());
+  for (std::size_t i = 0; i < a.site_lambda.size(); ++i)
+    EXPECT_EQ(a.site_lambda[i], b.site_lambda[i]) << i;
+}
+
+TEST_F(FleetTest, RegionOutageShedsLocallyAndRecovers) {
+  FaultPlan plan;
+  plan.region_outages.push_back({/*region=*/1, /*start=*/0, /*duration=*/2});
+  const FaultInjector injector(plan, sites_.size(), /*num_regions=*/2,
+                               /*horizon=*/24);
+  FleetController fleet = make_controller();
+  const FleetHourOutcome down =
+      fleet.decide_hour(0, 8e11, 2e11, demand_, 1e7, &injector);
+  EXPECT_EQ(down.chunks[0].status, ChunkStatus::kOk);
+  EXPECT_EQ(down.chunks[1].status, ChunkStatus::kRegionDown);
+  EXPECT_EQ(down.region_down_chunks, 1u);
+  // The surviving region still serves its (redistributed) share; the dead
+  // region's sites carry zero load.
+  EXPECT_GT(down.served_premium, 0.0);
+  for (std::size_t i = 3; i < 6; ++i) EXPECT_EQ(down.site_lambda[i], 0.0);
+  // A lost region is an outage, not a ladder failure: no quarantine.
+  EXPECT_FALSE(fleet.region_quarantined(1, 1));
+  const FleetHourOutcome after =
+      fleet.decide_hour(2, 8e11, 2e11, demand_, 1e7, &injector);
+  EXPECT_EQ(after.chunks[1].status, ChunkStatus::kOk);
+  EXPECT_EQ(after.region_down_chunks, 0u);
+}
+
+TEST_F(FleetTest, ChunkSolverStallDegradesThatChunkOnly) {
+  FaultPlan plan;
+  plan.chunk_stalls.push_back(
+      {/*region=*/0, /*start=*/0, /*duration=*/1, /*node_budget=*/1});
+  const FaultInjector injector(plan, sites_.size(), 2, 24);
+  FleetController fleet = make_controller();
+  const FleetHourOutcome out =
+      fleet.decide_hour(0, 8e11, 2e11, demand_, 1e7, &injector);
+  EXPECT_EQ(out.chunks[0].status, ChunkStatus::kDegraded);
+  EXPECT_NE(out.chunks[0].failure, FailureReason::kNone);
+  EXPECT_EQ(out.chunks[1].status, ChunkStatus::kOk);
+  EXPECT_EQ(out.degraded_chunks, 1u);
+  // Degraded is not dead: the chunk still serves via the ladder.
+  EXPECT_GT(out.chunks[0].outcome.served_premium, 0.0);
+}
+
+TEST_F(FleetTest, ChunkArenaSqueezeClassifiesArenaExhausted) {
+  FaultPlan plan;
+  plan.chunk_squeezes.push_back(
+      {/*region=*/0, /*start=*/0, /*duration=*/1, /*arena_bytes=*/64});
+  const FaultInjector injector(plan, sites_.size(), 2, 24);
+  FleetController fleet = make_controller();
+  const FleetHourOutcome out =
+      fleet.decide_hour(0, 8e11, 2e11, demand_, 1e7, &injector);
+  EXPECT_EQ(out.chunks[0].status, ChunkStatus::kDegraded);
+  EXPECT_EQ(out.chunks[0].failure, FailureReason::kArenaExhausted);
+  EXPECT_EQ(out.chunks[1].status, ChunkStatus::kOk);
+  EXPECT_GT(out.chunks[0].outcome.served_premium, 0.0);  // greedy fallback
+}
+
+TEST_F(FleetTest, ThrownChunkIsCaughtAndServesStandby) {
+  FleetController fleet = make_controller();
+  fleet.chunk_fault_hook = [](std::size_t region, std::size_t) {
+    if (region == 1) throw std::runtime_error("chunk node fell over");
+  };
+  const FleetHourOutcome out = fleet.decide_hour(0, 8e11, 2e11, demand_, 1e7);
+  EXPECT_EQ(out.chunks[0].status, ChunkStatus::kOk);
+  EXPECT_EQ(out.chunks[1].status, ChunkStatus::kDegraded);
+  EXPECT_EQ(out.chunks[1].failure, FailureReason::kThrown);
+  // The standby fallback still serves the region's premium share.
+  EXPECT_GT(out.chunks[1].outcome.served_premium, 0.0);
+  EXPECT_EQ(out.chunks[1].outcome.mode, CappingOutcome::Mode::kPremiumOnly);
+}
+
+TEST_F(FleetTest, QuarantineTripsAfterRepeatedFailuresAndRecovers) {
+  FleetOptions options;
+  options.quarantine.window_hours = 8;
+  options.quarantine.trip_failures = 3;
+  options.quarantine.quarantine_hours = 2;
+  FleetController fleet = make_controller(options);
+  bool hook_on = true;
+  fleet.chunk_fault_hook = [&hook_on](std::size_t region, std::size_t) {
+    if (hook_on && region == 0) throw std::runtime_error("flaky chunk");
+  };
+  for (std::size_t h = 0; h < 3; ++h) {
+    const FleetHourOutcome out =
+        fleet.decide_hour(h, 8e11, 2e11, demand_, 1e7);
+    EXPECT_EQ(out.chunks[0].status, ChunkStatus::kDegraded) << h;
+  }
+  // Three failures in the window: hours 3 and 4 are quarantined.
+  EXPECT_TRUE(fleet.region_quarantined(0, 3));
+  hook_on = false;  // the region has recovered, but quarantine holds
+  const FleetHourOutcome gated = fleet.decide_hour(3, 8e11, 2e11, demand_, 1e7);
+  EXPECT_EQ(gated.chunks[0].status, ChunkStatus::kQuarantined);
+  EXPECT_EQ(gated.quarantined_chunks, 1u);
+  // Quarantined standby still guarantees the premium share.
+  EXPECT_GT(gated.chunks[0].outcome.served_premium, 0.0);
+  EXPECT_EQ(fleet.decide_hour(4, 8e11, 2e11, demand_, 1e7).quarantined_chunks,
+            1u);
+  // Probation: the ladder window was cleared, the region solves cleanly.
+  const FleetHourOutcome healed = fleet.decide_hour(5, 8e11, 2e11, demand_, 1e7);
+  EXPECT_EQ(healed.chunks[0].status, ChunkStatus::kOk);
+  EXPECT_FALSE(fleet.region_quarantined(0, 5));
+}
+
+TEST_F(FleetTest, RunMonthAggregatesChunkCountersIntoMonthlyResult) {
+  FleetMonthConfig config;
+  config.hours = 12;
+  config.seed = 7;
+  config.base_premium = 6e11;
+  config.base_ordinary = 1.5e11;
+  config.base_demand_mw = 180.0;
+  config.hourly_budget = 1e7;
+  config.faults.region_outages.push_back({1, 2, 2});
+  config.faults.chunk_stalls.push_back({0, 5, 2, 1});
+  FleetController fleet = make_controller();
+  const MonthlyResult result = fleet.run_month(config);
+  ASSERT_EQ(result.hours.size(), 12u);
+  EXPECT_EQ(result.region_down_chunks, 2u);
+  EXPECT_GE(result.degraded_chunks, 2u);
+  std::size_t tallied = 0;
+  for (std::size_t count : result.chunk_failure_tally) tallied += count;
+  EXPECT_EQ(tallied, result.degraded_chunks);
+  EXPECT_GT(result.total_served_premium, 0.0);
+}
+
+TEST_F(FleetTest, ChunkTalliesSurviveTheCheckpointJournal) {
+  FleetMonthConfig config;
+  config.hours = 6;
+  config.seed = 11;
+  config.base_premium = 6e11;
+  config.base_ordinary = 1.5e11;
+  config.base_demand_mw = 180.0;
+  config.hourly_budget = 1e7;
+  config.faults.chunk_stalls.push_back({0, 1, 3, 1});
+  FleetController fleet = make_controller();
+  const MonthlyResult result = fleet.run_month(config);
+  ASSERT_GT(result.degraded_chunks, 0u);
+
+  CheckpointState state;
+  state.config_digest = 0xfee7;
+  state.strategy = result.strategy;
+  state.next_hour = result.hours.size();
+  state.partial = result;
+  const std::string path =
+      ::testing::TempDir() + "fleet_chunk_tally.journal";
+  save_checkpoint(path, state);
+  const CheckpointState loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.partial.degraded_chunks, result.degraded_chunks);
+  EXPECT_EQ(loaded.partial.quarantined_chunks, result.quarantined_chunks);
+  EXPECT_EQ(loaded.partial.region_down_chunks, result.region_down_chunks);
+  EXPECT_EQ(loaded.partial.chunk_failure_tally, result.chunk_failure_tally);
+  std::remove(path.c_str());
+}
+
+// The ISSUE's acceptance bar: the same 100-site month at 1, 4 and 16
+// threads (and with no pool at all) must produce bitwise-identical CSV
+// output — per-task determinism plus ordered reduction, no exceptions.
+TEST(FleetInvarianceTest, HundredSiteMonthIsThreadCountInvariant) {
+  const auto base_sites = datacenter::paper_datacenters();
+  const auto base_policies = market::paper_policies(1);
+  std::vector<datacenter::DataCenter> sites;
+  std::vector<market::PricingPolicy> policies;
+  while (sites.size() < 100) {
+    const std::size_t i = sites.size() % base_sites.size();
+    sites.push_back(base_sites[i]);
+    policies.push_back(base_policies[i]);
+  }
+  const std::vector<Region> regions = contiguous_regions(100, 5);
+
+  FleetMonthConfig config;
+  config.hours = 24;
+  config.seed = 2024;
+  config.base_premium = 1.2e13;
+  config.base_ordinary = 3e12;
+  config.base_demand_mw = 180.0;
+  config.hourly_budget = 2e8;
+  // A fault ladder touching every envelope: a dead region, a stalled
+  // chunk, a squeezed arena and a site outage, all mid-month.
+  config.faults.region_outages.push_back({3, 6, 3});
+  config.faults.chunk_stalls.push_back({7, 4, 6, 1});
+  config.faults.chunk_squeezes.push_back({11, 10, 4, 64});
+  config.faults.outages.push_back({42, 2, 5});
+
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}, std::size_t{16}}) {
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+    FleetController fleet(sites, policies, regions, {}, pool.get());
+    const MonthlyResult result = fleet.run_month(config);
+    const std::string csv = fleet_month_csv(result);
+    if (reference.empty()) {
+      reference = csv;
+      EXPECT_GT(result.degraded_chunks, 0u);
+      EXPECT_GT(result.region_down_chunks, 0u);
+      // Premium QoS held through the whole ladder.
+      EXPECT_GT(result.premium_throughput_ratio(), 0.9);
+    } else {
+      EXPECT_EQ(csv, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace billcap::core

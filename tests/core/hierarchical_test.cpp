@@ -138,6 +138,37 @@ TEST_F(HierarchicalTest, SingleRegionMatchesFlat) {
   EXPECT_NEAR(a.allocation.predicted_cost, b.predicted_cost, 1e-6);
 }
 
+TEST_F(HierarchicalTest, CleanSolveSurfacesNoRegionFailures) {
+  const HierarchicalCapper capper(sites_, policies_,
+                                  contiguous_regions(6, 3));
+  const HierarchicalOutcome out = capper.decide(8e11, 2e11, demand_, 1e7);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.failure, FailureReason::kNone);
+  EXPECT_TRUE(out.degraded_regions.empty());
+  for (std::size_t count : out.failure_tally) EXPECT_EQ(count, 0u);
+}
+
+TEST_F(HierarchicalTest, PerRegionFailuresSurviveTheMerge) {
+  // A crushing node budget degrades every region's solve; the merge must
+  // say which regions degraded and why, not just the worst Mode.
+  OptimizerOptions options;
+  options.milp.max_nodes = 1;
+  const HierarchicalCapper capper(sites_, policies_,
+                                  contiguous_regions(6, 3), options);
+  const HierarchicalOutcome out = capper.decide(8e11, 2e11, demand_, 1e7);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_NE(out.failure, FailureReason::kNone);
+  ASSERT_EQ(out.degraded_regions.size(), 2u);
+  EXPECT_EQ(out.degraded_regions[0], 0u);
+  EXPECT_EQ(out.degraded_regions[1], 1u);
+  std::size_t tallied = 0;
+  for (std::size_t count : out.failure_tally) tallied += count;
+  EXPECT_EQ(tallied, 2u);
+  // The per-region outcomes agree with the surfaced summary.
+  for (std::size_t r : out.degraded_regions)
+    EXPECT_TRUE(out.region_outcomes[r].degraded);
+}
+
 TEST_F(HierarchicalTest, DemandSizeValidation) {
   const HierarchicalCapper capper(sites_, policies_,
                                   contiguous_regions(6, 3));

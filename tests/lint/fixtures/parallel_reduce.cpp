@@ -1,0 +1,28 @@
+// Fixture: BL024 parallel-reduce. Never compiled — scanned by lint_test
+// only. Fan-out work reduced in thread-scheduling order, three ways: a
+// floating-point atomic accumulator, fetch_add, and the accumulate-under-
+// mutex idiom. The mutex protects the *values* but the fold order still
+// follows scheduling — float addition is not associative, so the total's
+// bits differ run to run.
+#include <atomic>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+double total_cost_unordered(int n) {
+  std::atomic<double> total{0.0};
+  parallel_for(static_cast<unsigned long>(n),
+               [&](unsigned long i) { total.fetch_add(cost_of(i)); });
+  return total.load();
+}
+
+double total_cost_under_mutex(int n) {
+  double total = 0.0;
+  std::mutex mu;
+  parallel_for(static_cast<unsigned long>(n), [&](unsigned long i) {
+    const double cost = cost_of(i);
+    std::lock_guard lock(mu);
+    total += cost;
+  });
+  return total;
+}

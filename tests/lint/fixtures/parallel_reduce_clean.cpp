@@ -1,0 +1,17 @@
+// Fixture: BL024 clean shape. Never compiled — scanned by lint_test only.
+// The sanctioned reduction: every task writes its result to its own
+// indexed slot (no shared accumulator, nothing to lock), and the fold
+// happens serially in index order after the barrier. Bitwise-identical
+// for any thread count.
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+double total_cost_ordered(int n) {
+  std::vector<double> slot(static_cast<unsigned>(n), 0.0);
+  parallel_for(static_cast<unsigned long>(n),
+               [&](unsigned long i) { slot[i] = cost_of(i); });
+  double total = 0.0;
+  for (double v : slot) total += v;
+  return total;
+}

@@ -44,6 +44,7 @@ TEST(LintFixtures, EachKnownBadFixtureTriggersExactlyItsRule) {
       {"todo_issue.cpp", Rule::kTodoIssue},
       {"unbounded_queue.cpp", Rule::kUnboundedQueue},
       {"solve_alloc.cpp", Rule::kSolveAlloc},
+      {"parallel_reduce.cpp", Rule::kParallelReduce},
       {"bare_allow.cpp", Rule::kBareAllow},
   };
   for (const FixtureCase& c : cases)
@@ -58,6 +59,13 @@ TEST(LintFixtures, AnnotatedHazardsScanClean) {
 
 TEST(LintFixtures, IdiomaticCodeScansClean) {
   const std::vector<Finding> findings = scan_file(fixture_path("clean.cpp"));
+  for (const Finding& f : findings) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(LintFixtures, IndexedSlotReductionScansClean) {
+  // BL024's sanctioned shape: per-task indexed slots, serial fold.
+  const std::vector<Finding> findings =
+      scan_file(fixture_path("parallel_reduce_clean.cpp"));
   for (const Finding& f : findings) ADD_FAILURE() << format_finding(f);
 }
 

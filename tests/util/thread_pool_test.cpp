@@ -52,6 +52,39 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPoolTest, ThrowingTaskDoesNotWedgeThePool) {
+  // A worker that lets an exception escape must stay alive: the next
+  // submitted task still runs on the same (single) worker thread.
+  ThreadPool pool(1);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitNoexceptReturnsTypedResult) {
+  ThreadPool pool(2);
+  auto ok = pool.submit_noexcept([] { return 41 + 1; });
+  const TaskResult<int> good = ok.get();
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(good.value, 42);
+  EXPECT_TRUE(good.error.empty());
+
+  auto fail = pool.submit_noexcept(
+      []() -> int { throw std::runtime_error("chunk fell over"); });
+  const TaskResult<int> bad = fail.get();
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, "chunk fell over");
+}
+
+TEST(ThreadPoolTest, SubmitNoexceptVoidCapturesFailure) {
+  ThreadPool pool(1);
+  auto fut = pool.submit_noexcept([] { throw 17; });  // non-std exception
+  const TaskResult<void> res = fut.get();
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.error.empty());
+}
+
 TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(256);
@@ -72,6 +105,20 @@ TEST(ParallelForTest, PropagatesTaskException) {
                               if (i == 3) throw std::runtime_error("bad");
                             }),
                std::runtime_error);
+}
+
+TEST(ParallelForTest, AllTasksCompleteDespiteAThrow) {
+  // parallel_for must wait for every task before rethrowing — returning
+  // early would leave workers touching a destroyed closure.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(parallel_for(pool, 64,
+                            [&completed](std::size_t i) {
+                              if (i == 0) throw std::runtime_error("early");
+                              ++completed;
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
 }
 
 TEST(ParallelForTest, SharedPoolOverloadWorks) {

@@ -33,6 +33,17 @@ cmake --build "$ROOT/$PREFIX" -j "$JOBS" --target tab_solver_time
 (cd "$ROOT/$PREFIX/bench" && ./tab_solver_time --benchmark_filter='^$')
 cp "$ROOT/$PREFIX/bench/BENCH_solver.json" "$ROOT/BENCH_solver.json"
 
+echo "== bench: fleet scale-out sweep (BENCH_fleet.json) =="
+# A bounded slice of the fleet sweep: 24 scenario-months over the
+# 100-site / 20-region fleet, serial vs threaded, under the rotating
+# fault ladder. Exits nonzero on any fleet-hour abort or serial/threaded
+# digest mismatch, so the determinism contract is gated here, not just in
+# ctest. The full 1000-month sweep is a manual run (`./fleet_sweep`); the
+# JSON records shape + host_cores so archived numbers stay comparable.
+cmake --build "$ROOT/$PREFIX" -j "$JOBS" --target fleet_sweep
+(cd "$ROOT/$PREFIX/bench" && ./fleet_sweep --months 24)
+cp "$ROOT/$PREFIX/bench/BENCH_fleet.json" "$ROOT/BENCH_fleet.json"
+
 echo "== tier 2: robustness label under address,undefined sanitizers =="
 # Includes solver_test (the arena-vs-legacy differential harness and the
 # basis/arena property tests), which carries the robustness label so every

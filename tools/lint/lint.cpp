@@ -14,7 +14,7 @@ namespace {
 
 // ---- rule catalogue --------------------------------------------------------
 
-constexpr std::array<RuleInfo, 11> kRules = {{
+constexpr std::array<RuleInfo, 12> kRules = {{
     {Rule::kWallClock, "BL001", "wall-clock",
      "wall-clock time and ambient PRNGs make a resumed month diverge from "
      "an uninterrupted one"},
@@ -45,6 +45,10 @@ constexpr std::array<RuleInfo, 11> kRules = {{
      "the lp solver's loops must not touch the heap — the arena is sized "
      "before iteration starts; reserve up front or annotate "
      "allow(solve-alloc)"},
+    {Rule::kParallelReduce, "BL024", "parallel-reduce",
+     "a reduction whose order depends on thread scheduling (accumulating "
+     "under a mutex, atomic adds on floats) breaks bitwise determinism; "
+     "write results to indexed slots and fold in a fixed order"},
     {Rule::kBareAllow, "BL030", "bare-allow",
      "every suppression must say why the hazard is sanctioned"},
 }};
@@ -701,7 +705,7 @@ void check_todo(std::string_view comment, std::vector<std::string>& hits) {
 
 // ---- public API ------------------------------------------------------------
 
-const std::array<RuleInfo, 11>& rule_table() { return kRules; }
+const std::array<RuleInfo, 12>& rule_table() { return kRules; }
 
 const RuleInfo& info(Rule rule) {
   for (const RuleInfo& r : kRules)
@@ -721,6 +725,64 @@ std::string format_finding(const Finding& finding) {
          " " + r.name + "] " + finding.message;
 }
 
+namespace {
+
+// ---- BL024 parallel reduce -------------------------------------------------
+//
+// Only translation units that visibly touch the worker-pool machinery are
+// examined (content-based, like the journal-key gate). Two shapes are
+// flagged: a floating-point std::atomic accumulator (including fetch_add,
+// whose float overloads reduce in scheduling order), and a `+=` within a
+// few lines of a lock construction — the accumulate-under-mutex idiom,
+// where the *values* are protected but the fold order still follows thread
+// scheduling. The sanctioned shape writes each task's result to its own
+// indexed slot and folds serially in index order (see core/fleet.cpp).
+
+struct ParallelReduce {
+  std::size_t line = 0;
+  std::string what;
+};
+
+std::vector<ParallelReduce> check_parallel_reduce(
+    const std::vector<LineInfo>& lines) {
+  std::vector<ParallelReduce> out;
+  // A lock taken a couple of lines above an accumulation still guards it;
+  // beyond that the scope has usually ended (billcap-lint is a lexer).
+  constexpr std::size_t kLockWindow = 3;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string_view code = lines[n].code;
+    bool atomic_float = false;
+    bool lock_line = false;
+    for_each_identifier(code, [&](std::string_view tok, std::size_t pos) {
+      if (tok == "atomic") {
+        std::size_t p = skip_spaces(code, pos + tok.size());
+        if (p < code.size() && code[p] == '<') {
+          p = skip_spaces(code, p + 1);
+          const std::string_view rest = code.substr(p);
+          atomic_float = atomic_float || rest.starts_with("double") ||
+                         rest.starts_with("float");
+        }
+      }
+      if (tok == "fetch_add") out.push_back({n, "fetch_add"});
+      lock_line = lock_line || tok == "lock_guard" || tok == "scoped_lock" ||
+                  tok == "unique_lock";
+    });
+    if (atomic_float) out.push_back({n, "atomic floating accumulator"});
+    if (lock_line) {
+      for (std::size_t m = n + 1;
+           m < lines.size() && m <= n + kLockWindow; ++m) {
+        if (lines[m].code.find("+=") != std::string_view::npos) {
+          out.push_back({m, "accumulation under a lock"});
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<Finding> scan_source(std::string_view path,
                                  std::string_view text) {
   const std::vector<LineInfo> lines = lex(text);
@@ -739,6 +801,12 @@ std::vector<Finding> scan_source(std::string_view path,
   // into the solver rule.
   const bool lp_solver_tu =
       text.find("namespace billcap::" "lp") != std::string_view::npos;
+  // Same trick: only worker-pool translation units feed the parallel-
+  // reduction rule, and the scanner must not gate itself.
+  const bool parallel_tu =
+      text.find("util/thread_" "pool.hpp") != std::string_view::npos ||
+      text.find("Thread" "Pool") != std::string_view::npos ||
+      text.find("parallel_" "for") != std::string_view::npos;
 
   std::vector<Finding> findings;
   const auto emit = [&](std::size_t n, Rule rule,
@@ -815,6 +883,19 @@ std::vector<Finding> scan_source(std::string_view path,
                      "' allocates inside a solver loop — the solver's steady "
                      "state must not touch the heap; move the allocation to "
                      "setup or annotate allow(solve-alloc)"});
+    }
+  }
+
+  if (parallel_tu) {
+    for (const ParallelReduce& p : check_parallel_reduce(lines)) {
+      if (suppress.allowed[p.line].count(Rule::kParallelReduce)) continue;
+      findings.push_back(
+          {std::string(path), p.line + 1, Rule::kParallelReduce,
+           p.what +
+               " reduces in thread-scheduling order, which breaks bitwise "
+               "determinism across thread counts — write each task's result "
+               "to its own indexed slot and fold serially in index order, "
+               "or annotate allow(parallel-reduce)"});
     }
   }
 

@@ -38,6 +38,7 @@ enum class Rule {
   kTodoIssue,      ///< BL021: to-do marker without an issue reference
   kUnboundedQueue, ///< BL022: container growth in a loop with no bound
   kSolveAlloc,     ///< BL023: heap allocation in the lp solver's loops
+  kParallelReduce, ///< BL024: unordered parallel reduction (mutex/atomic acc)
   kBareAllow,      ///< BL030: allow annotation without a rationale
 };
 
@@ -49,7 +50,7 @@ struct RuleInfo {
 };
 
 /// All rules, in report order.
-const std::array<RuleInfo, 11>& rule_table();
+const std::array<RuleInfo, 12>& rule_table();
 
 /// Info for a rule; never fails (the enum is the index).
 const RuleInfo& info(Rule rule);
