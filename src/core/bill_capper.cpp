@@ -27,6 +27,8 @@ const char* to_string(FailureReason reason) noexcept {
     case FailureReason::kUnbounded: return "unbounded";
     case FailureReason::kArenaExhausted: return "arena_exhausted";
     case FailureReason::kThrown: return "thrown";
+    case FailureReason::kPriceOscillation: return "price_oscillation";
+    case FailureReason::kCouplerDiverged: return "coupler_diverged";
   }
   return "unknown";
 }

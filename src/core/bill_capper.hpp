@@ -21,10 +21,12 @@ enum class FailureReason {
   kUnbounded,       ///< solver reported unbounded (model corruption)
   kArenaExhausted,  ///< solver arena byte cap hit (lp::kArenaExhausted)
   kThrown,          ///< chunk task threw; caught at the fault envelope
+  kPriceOscillation,  ///< market coupler detected a price-load limit cycle
+  kCouplerDiverged,   ///< coupler fixed point missed its iteration cap
 };
 
 /// Number of FailureReason values (for per-reason tally arrays).
-inline constexpr std::size_t kFailureReasonCount = 8;
+inline constexpr std::size_t kFailureReasonCount = 10;
 
 const char* to_string(FailureReason reason) noexcept;
 

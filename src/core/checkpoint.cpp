@@ -49,6 +49,20 @@ std::uint64_t take_u(std::istringstream& is) {
   if (!(is >> v)) throw std::runtime_error("checkpoint: truncated hour record");
   return v;
 }
+/// EOF-tolerant read for fields appended after the v1 layout: a record from
+/// an older writer simply runs out of tokens, which must read as the field's
+/// default — only a *malformed* token still throws.
+bool take_u_opt(std::istringstream& is, std::uint64_t& out) {
+  std::string token;
+  if (!(is >> token)) return false;  // clean EOF: pre-extension record
+  std::uint64_t v = 0;
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), v, 10);
+  if (res.ec != std::errc{} || res.ptr != token.data() + token.size())
+    throw std::runtime_error("checkpoint: malformed hour record");
+  out = v;
+  return true;
+}
 double take_d(std::istringstream& is) {
   std::string token;
   if (!(is >> token) || token.size() != 16)
@@ -87,6 +101,12 @@ std::string encode_hour(const HourRecord& rec) {
   for (double v : rec.site_lambda) put_d(os, v);
   put_u(os, rec.site_power_mw.size());
   for (double v : rec.site_power_mw) put_d(os, v);
+  // Coupler fields: appended AFTER every v1 field so pre-coupler records
+  // decode with the (zero) defaults — extend only at the end.
+  put_u(os, rec.coupler_iterations);
+  put_u(os, rec.coupler_converged ? 1 : 0);
+  put_u(os, rec.coupler_fallback ? 1 : 0);
+  put_u(os, rec.coupler_rung);
   return os.str();
 }
 
@@ -121,6 +141,13 @@ HourRecord decode_hour(const std::string& text) {
   rec.site_power_mw.reserve(n_power);
   for (std::size_t i = 0; i < n_power; ++i)
     rec.site_power_mw.push_back(take_d(is));
+  std::uint64_t v = 0;
+  if (take_u_opt(is, v)) {
+    rec.coupler_iterations = static_cast<std::size_t>(v);
+    rec.coupler_converged = take_u(is) != 0;
+    rec.coupler_fallback = take_u(is) != 0;
+    rec.coupler_rung = static_cast<std::size_t>(take_u(is));
+  }
   return rec;
 }
 
@@ -204,6 +231,34 @@ std::uint64_t checkpoint_digest(const SimulationConfig& config,
     d.mix_size(b.duration_hours);
     d.mix_size(b.updates_per_tick);
   }
+  // Grid-side fault kinds: mixed only when present so a plan without them
+  // keeps its pre-coupler digest (resumability across the format change).
+  if (!plan.line_outages.empty()) {
+    d.mix_size(plan.line_outages.size());
+    for (const auto& o : plan.line_outages) {
+      d.mix_size(o.line);
+      d.mix_size(o.start_hour);
+      d.mix_size(o.duration_hours);
+    }
+  }
+  if (!plan.grid_demand_shocks.empty()) {
+    d.mix_size(plan.grid_demand_shocks.size());
+    for (const auto& s : plan.grid_demand_shocks) {
+      d.mix_size(s.bus);
+      d.mix_size(s.start_hour);
+      d.mix_size(s.duration_hours);
+      d.mix_double(s.multiplier);
+    }
+  }
+  if (!plan.congestion_spikes.empty()) {
+    d.mix_size(plan.congestion_spikes.size());
+    for (const auto& s : plan.congestion_spikes) {
+      d.mix_size(s.line);
+      d.mix_size(s.start_hour);
+      d.mix_size(s.duration_hours);
+      d.mix_double(s.limit_factor);
+    }
+  }
 
   d.mix_double(config.fault_rates.outage_rate);
   d.mix_size(config.fault_rates.outage_mean_hours);
@@ -223,6 +278,28 @@ std::uint64_t checkpoint_digest(const SimulationConfig& config,
   d.mix_double(config.market_feed.backoff_multiplier);
   d.mix_double(config.market_feed.max_backoff_ms);
   d.mix_double(config.market_feed.jitter_frac);
+
+  // Coupler configuration: mixed only when enabled, so every open-loop
+  // config keeps the digest it had before the closed-loop format existed.
+  if (config.market_coupler.enabled) {
+    const MarketCouplerOptions& mc = config.market_coupler;
+    d.mix_bool(mc.enabled);
+    d.mix_bool(mc.plan_closed_loop);
+    d.mix_double(mc.loop.feedback_gain);
+    d.mix_size(mc.loop.max_iters);
+    d.mix_double(mc.loop.epsilon_mw);
+    d.mix_double(mc.loop.price_tol);
+    d.mix_double(mc.loop.sweep_step_mw);
+    d.mix_double(mc.loop.smoothing_alpha);
+    d.mix_double(mc.loop.trust_region_mw);
+    d.mix_double(mc.loop.hysteresis_frac);
+    d.mix_u64(static_cast<std::uint64_t>(mc.damping));
+    d.mix_size(mc.deescalate_after);
+    d.mix_size(mc.breaker_trip_after);
+    d.mix_size(mc.breaker_cooldown_hours);
+    d.mix_double(mc.breaker_cooldown_multiplier);
+    d.mix_size(mc.breaker_cooldown_max_hours);
+  }
 
   return d.hash;
 }
@@ -245,6 +322,29 @@ void save_checkpoint(const std::string& path, const CheckpointState& state) {
     journal.set_u64(keys::feed_rng(i), state.feed.rng[i]);
   journal.set_size(keys::kFeedRecoveredUntil, state.feed.recovered_until);
 
+  const MarketCoupler::State& cp = state.coupler;
+  journal.set_u64(keys::kCouplerBreakerState, cp.breaker_state);
+  journal.set_size(keys::kCouplerConsecTroubled, cp.consecutive_troubled);
+  journal.set_size(keys::kCouplerCooldown, cp.cooldown_remaining);
+  journal.set_size(keys::kCouplerCurrentCooldown, cp.current_cooldown_hours);
+  journal.set_size(keys::kCouplerTrips, cp.trips);
+  journal.set_size(keys::kCouplerRung, cp.rung);
+  journal.set_size(keys::kCouplerCleanStreak, cp.clean_streak);
+  journal.set_u64(keys::kCouplerLastValid, cp.last_valid ? 1 : 0);
+  {
+    std::ostringstream active;
+    for (std::size_t i = 0; i < cp.last_active.size(); ++i) {
+      if (i) active << ' ';
+      active << static_cast<unsigned>(cp.last_active[i]);
+    }
+    journal.set(keys::kCouplerLastActive, active.str());
+  }
+  {
+    std::ostringstream power;
+    for (double v : cp.last_power_mw) put_d(power, v);
+    journal.set(keys::kCouplerLastPower, power.str());
+  }
+
   const MonthlyResult& r = state.partial;
   journal.set_double_bits(keys::kMonthlyBudget, r.monthly_budget);
   journal.set_double_bits(keys::kTotalCost, r.total_cost);
@@ -262,6 +362,9 @@ void save_checkpoint(const std::string& path, const CheckpointState& state) {
   journal.set_size(keys::kFeedRetryAttempts, r.feed_retry_attempts);
   journal.set_size(keys::kFeedRecoveredHours, r.feed_recovered_hours);
   journal.set_size(keys::kCrashRecoveries, r.crash_recoveries);
+  journal.set_size(keys::kClosedLoopHours, r.closed_loop_hours);
+  journal.set_size(keys::kCouplerFallbackHours, r.coupler_fallback_hours);
+  journal.set_size(keys::kCouplerIterations, r.coupler_iterations);
   {
     std::ostringstream tally;
     for (std::size_t i = 0; i < r.failure_tally.size(); ++i) {
@@ -310,6 +413,32 @@ CheckpointState load_checkpoint(const std::string& path) {
     state.feed.rng[i] = journal.get_u64(keys::feed_rng(i));
   state.feed.recovered_until = journal.get_size(keys::kFeedRecoveredUntil);
 
+  // Coupler trajectory: absent in pre-coupler checkpoints, which simply
+  // had no coupler state to carry — a fresh (default) coupler is correct.
+  if (journal.has(keys::kCouplerBreakerState)) {
+    MarketCoupler::State& cp = state.coupler;
+    cp.breaker_state = journal.get_u64(keys::kCouplerBreakerState);
+    cp.consecutive_troubled = journal.get_size(keys::kCouplerConsecTroubled);
+    cp.cooldown_remaining = journal.get_size(keys::kCouplerCooldown);
+    cp.current_cooldown_hours =
+        journal.get_size(keys::kCouplerCurrentCooldown);
+    cp.trips = journal.get_size(keys::kCouplerTrips);
+    cp.rung = journal.get_size(keys::kCouplerRung);
+    cp.clean_streak = journal.get_size(keys::kCouplerCleanStreak);
+    cp.last_valid = journal.get_u64(keys::kCouplerLastValid) != 0;
+    {
+      std::istringstream active(journal.get(keys::kCouplerLastActive));
+      unsigned v = 0;
+      while (active >> v) cp.last_active.push_back(v != 0 ? 1 : 0);
+    }
+    {
+      std::istringstream power(journal.get(keys::kCouplerLastPower));
+      while (power >> std::ws, power.peek() != std::istringstream::traits_type::eof()) {
+        cp.last_power_mw.push_back(take_d(power));
+      }
+    }
+  }
+
   MonthlyResult& r = state.partial;
   r.strategy = state.strategy;
   r.monthly_budget = journal.get_double_bits(keys::kMonthlyBudget);
@@ -328,11 +457,24 @@ CheckpointState load_checkpoint(const std::string& path) {
   r.feed_retry_attempts = journal.get_size(keys::kFeedRetryAttempts);
   r.feed_recovered_hours = journal.get_size(keys::kFeedRecoveredHours);
   r.crash_recoveries = journal.get_size(keys::kCrashRecoveries);
+  // Coupler aggregates: absent before the closed-loop format, zero then.
+  r.closed_loop_hours = journal.has(keys::kClosedLoopHours)
+                            ? journal.get_size(keys::kClosedLoopHours)
+                            : 0;
+  r.coupler_fallback_hours =
+      journal.has(keys::kCouplerFallbackHours)
+          ? journal.get_size(keys::kCouplerFallbackHours)
+          : 0;
+  r.coupler_iterations = journal.has(keys::kCouplerIterations)
+                             ? journal.get_size(keys::kCouplerIterations)
+                             : 0;
   {
+    // Tolerant of shorter tallies: a checkpoint written before a
+    // FailureReason was added carries fewer entries, and the reasons it
+    // predates necessarily tallied zero (the array is zero-initialized).
     std::istringstream tally(journal.get(keys::kFailureTally));
     for (std::size_t i = 0; i < r.failure_tally.size(); ++i)
-      if (!(tally >> r.failure_tally[i]))
-        throw std::runtime_error("checkpoint: malformed failure_tally");
+      if (!(tally >> r.failure_tally[i])) break;
   }
   // Written since the fleet-controller format; absent means a pre-fleet
   // checkpoint whose month had no chunk solves to count.
@@ -346,10 +488,10 @@ CheckpointState load_checkpoint(const std::string& path) {
                              ? journal.get_size(keys::kRegionDownChunks)
                              : 0;
   if (journal.has(keys::kChunkFailureTally)) {
+    // Same shorter-tally tolerance as failure_tally above.
     std::istringstream tally(journal.get(keys::kChunkFailureTally));
     for (std::size_t i = 0; i < r.chunk_failure_tally.size(); ++i)
-      if (!(tally >> r.chunk_failure_tally[i]))
-        throw std::runtime_error("checkpoint: malformed chunk_failure_tally");
+      if (!(tally >> r.chunk_failure_tally[i])) break;
   }
 
   const std::size_t hours = journal.get_size(keys::kHours);

@@ -30,6 +30,10 @@ struct CheckpointState {
   /// falls back a generation does not re-fire the same corruption.
   std::size_t corruptions_fired = 0;
   MarketFeed::State feed;         ///< retrying feed client's RNG + cursor
+  /// Closed-loop market coupler trajectory (breaker clock, damping ladder,
+  /// last executed fixed point). All defaults for open-loop months and
+  /// when loading pre-coupler checkpoint files.
+  MarketCoupler::State coupler;
   MonthlyResult partial;          ///< committed hours + aggregates
 };
 

@@ -27,6 +27,22 @@ inline constexpr const char* kCorruptionsFired = "corruptions_fired";
 // ---- market-feed retry state ----------------------------------------------
 inline constexpr const char* kFeedRecoveredUntil = "feed_recovered_until";
 
+// ---- closed-loop market coupler state -------------------------------------
+// Written unconditionally (like the chunk counters); absent keys load as a
+// fresh coupler, so pre-coupler checkpoints stay readable.
+inline constexpr const char* kCouplerBreakerState = "coupler_breaker_state";
+inline constexpr const char* kCouplerConsecTroubled =
+    "coupler_consec_troubled";
+inline constexpr const char* kCouplerCooldown = "coupler_cooldown";
+inline constexpr const char* kCouplerCurrentCooldown =
+    "coupler_current_cooldown";
+inline constexpr const char* kCouplerTrips = "coupler_trips";
+inline constexpr const char* kCouplerRung = "coupler_rung";
+inline constexpr const char* kCouplerCleanStreak = "coupler_clean_streak";
+inline constexpr const char* kCouplerLastValid = "coupler_last_valid";
+inline constexpr const char* kCouplerLastActive = "coupler_last_active";
+inline constexpr const char* kCouplerLastPower = "coupler_last_power";
+
 // ---- partial MonthlyResult aggregates -------------------------------------
 inline constexpr const char* kMonthlyBudget = "monthly_budget";
 inline constexpr const char* kTotalCost = "total_cost";
@@ -43,6 +59,11 @@ inline constexpr const char* kStaleHours = "stale_hours";
 inline constexpr const char* kFeedRetryAttempts = "feed_retry_attempts";
 inline constexpr const char* kFeedRecoveredHours = "feed_recovered_hours";
 inline constexpr const char* kCrashRecoveries = "crash_recoveries";
+// Closed-loop coupler aggregates (zero and absent-tolerant like the chunk
+// counters below).
+inline constexpr const char* kClosedLoopHours = "closed_loop_hours";
+inline constexpr const char* kCouplerFallbackHours = "coupler_fallback_hours";
+inline constexpr const char* kCouplerIterations = "coupler_iterations";
 inline constexpr const char* kFailureTally = "failure_tally";
 // Fleet-mode chunk counters (zero and harmless for classic months).
 inline constexpr const char* kDegradedChunks = "degraded_chunks";
@@ -86,6 +107,13 @@ inline constexpr const char* kServePlanOrdinaryRate =
 inline constexpr const char* kServePlanPredictedCost =
     "serve_plan_predicted_cost";
 inline constexpr const char* kServePlanTick = "serve_plan_tick";
+// Closed-loop coupling anchor (absent on pre-coupler serve checkpoints).
+inline constexpr const char* kServeCoupledAnchorValid =
+    "serve_coupled_anchor_valid";
+inline constexpr const char* kServeCoupledAnchorLambda =
+    "serve_coupled_anchor_lambda";
+inline constexpr const char* kServeCoupledRefreshes =
+    "serve_coupled_refreshes";
 inline constexpr const char* kServeHealth = "serve_health";
 inline constexpr const char* kServeHealthHistory = "serve_health_history";
 inline constexpr const char* kServeHealthTransitions =

@@ -119,6 +119,45 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_sites,
                             : std::min(deadline_ms_[h], squeeze.time_limit_ms);
   }
 
+  // Grid-side kinds: arrays sized by the largest index the plan names, so
+  // plans for any grid shape fit without the injector knowing the grid.
+  for (const auto& outage : plan.line_outages)
+    num_lines_ = std::max(num_lines_, outage.line + 1);
+  for (const auto& spike : plan.congestion_spikes)
+    num_lines_ = std::max(num_lines_, spike.line + 1);
+  for (const auto& shock : plan.grid_demand_shocks)
+    num_buses_ = std::max(num_buses_, shock.bus + 1);
+  if (num_lines_ > 0 || num_buses_ > 0) {
+    grid_faulted_.assign(horizon_, 0);
+    line_out_.assign(num_lines_ * horizon_, 0);
+    line_factor_.assign(num_lines_ * horizon_, 1.0);
+    bus_mult_.assign(num_buses_ * horizon_, 1.0);
+    for (const auto& outage : plan.line_outages) {
+      for (std::size_t h = outage.start_hour;
+           h < clip_end(outage.start_hour, outage.duration_hours); ++h) {
+        line_out_[outage.line * horizon_ + h] = 1;
+        grid_faulted_[h] = 1;
+      }
+    }
+    for (const auto& spike : plan.congestion_spikes) {
+      if (spike.limit_factor < 0.0) continue;
+      for (std::size_t h = spike.start_hour;
+           h < clip_end(spike.start_hour, spike.duration_hours); ++h) {
+        double& slot = line_factor_[spike.line * horizon_ + h];
+        slot = std::min(slot, spike.limit_factor);
+        grid_faulted_[h] = 1;
+      }
+    }
+    for (const auto& shock : plan.grid_demand_shocks) {
+      if (shock.multiplier <= 0.0) continue;
+      for (std::size_t h = shock.start_hour;
+           h < clip_end(shock.start_hour, shock.duration_hours); ++h) {
+        bus_mult_[shock.bus * horizon_ + h] *= shock.multiplier;
+        grid_faulted_[h] = 1;
+      }
+    }
+  }
+
   if (num_regions_ == 0) return;
   region_down_.assign(num_regions_ * horizon_, 0);
   stall_nodes_.assign(num_regions_ * horizon_, 0);
@@ -212,6 +251,29 @@ std::size_t FaultInjector::chunk_arena_bytes(std::size_t region,
   if (squeeze_bytes_.empty() || region >= num_regions_ || hour >= horizon_)
     return 0;
   return squeeze_bytes_[region * horizon_ + hour];
+}
+
+bool FaultInjector::line_out(std::size_t line, std::size_t hour) const noexcept {
+  if (line_out_.empty() || line >= num_lines_ || hour >= horizon_) return false;
+  return line_out_[line * horizon_ + hour] != 0;
+}
+
+double FaultInjector::line_limit_factor(std::size_t line,
+                                        std::size_t hour) const noexcept {
+  if (line_factor_.empty() || line >= num_lines_ || hour >= horizon_)
+    return 1.0;
+  return line_factor_[line * horizon_ + hour];
+}
+
+double FaultInjector::bus_demand_multiplier(std::size_t bus,
+                                            std::size_t hour) const noexcept {
+  if (bus_mult_.empty() || bus >= num_buses_ || hour >= horizon_) return 1.0;
+  return bus_mult_[bus * horizon_ + hour];
+}
+
+bool FaultInjector::grid_faulted(std::size_t hour) const noexcept {
+  if (grid_faulted_.empty() || hour >= horizon_) return false;
+  return grid_faulted_[hour] != 0;
 }
 
 }  // namespace billcap::core

@@ -130,6 +130,40 @@ struct FaultPlan {
     std::size_t arena_bytes = 1;
   };
 
+  /// A transmission line drops out of the grid for the interval (storm
+  /// damage, protection trip). The closed-loop market coupler re-solves the
+  /// DC-OPF on the reduced network, so LMPs — and the re-derived step
+  /// curves — jump; open-loop runs keep their static curves and simply do
+  /// not see it. Line indices follow the coupled grid's line catalog.
+  struct TransmissionLineOutage {
+    std::size_t line = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+  };
+
+  /// The *grid-side* background demand at one bus is multiplied for the
+  /// interval (a regional heat wave seen by the ISO). Contrast DemandShock,
+  /// which scales one site's billing-base demand: this kind moves the
+  /// coupled OPF's nodal load — and therefore the LMPs the coupler derives
+  /// curves from — without touching the billing base.
+  struct BackgroundDemandShock {
+    std::size_t bus = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    double multiplier = 1.0;
+  };
+
+  /// A line's thermal limit is derated for the interval (ambient heat,
+  /// conservative re-rating after a near-trip). Congestion binds earlier,
+  /// so price steps appear at lower load. Only lines with a finite nominal
+  /// limit are affected. Overlapping spikes: the tightest factor wins.
+  struct CongestionSpike {
+    std::size_t line = 0;
+    std::size_t start_hour = 0;
+    std::size_t duration_hours = 0;
+    double limit_factor = 1.0;  ///< limit is multiplied by this (< 1 derates)
+  };
+
   std::vector<SiteOutage> outages;
   std::vector<StaleInterval> stale_intervals;
   std::vector<DemandShock> demand_shocks;
@@ -142,6 +176,9 @@ struct FaultPlan {
   std::vector<RegionOutage> region_outages;
   std::vector<ChunkSolverStall> chunk_stalls;
   std::vector<ChunkArenaSqueeze> chunk_squeezes;
+  std::vector<TransmissionLineOutage> line_outages;
+  std::vector<BackgroundDemandShock> grid_demand_shocks;
+  std::vector<CongestionSpike> congestion_spikes;
 
   bool empty() const noexcept {
     return outages.empty() && stale_intervals.empty() &&
@@ -149,7 +186,9 @@ struct FaultPlan {
            crashes.empty() && exit_storms.empty() &&
            checkpoint_corruptions.empty() && flash_crowds.empty() &&
            feed_bursts.empty() && region_outages.empty() &&
-           chunk_stalls.empty() && chunk_squeezes.empty();
+           chunk_stalls.empty() && chunk_squeezes.empty() &&
+           line_outages.empty() && grid_demand_shocks.empty() &&
+           congestion_spikes.empty();
   }
 };
 
@@ -234,6 +273,24 @@ class FaultInjector {
   std::size_t chunk_arena_bytes(std::size_t region,
                                 std::size_t hour) const noexcept;
 
+  /// True when the transmission line is out this hour
+  /// (TransmissionLineOutage). Line indices beyond the plan report false.
+  bool line_out(std::size_t line, std::size_t hour) const noexcept;
+  /// Thermal-limit derate factor for the line this hour (CongestionSpike;
+  /// overlapping spikes take the tightest). 1.0 when nominal.
+  double line_limit_factor(std::size_t line, std::size_t hour) const noexcept;
+  /// Grid-side background multiplier at the bus this hour
+  /// (BackgroundDemandShock; overlapping shocks compound). 1.0 when calm.
+  double bus_demand_multiplier(std::size_t bus,
+                               std::size_t hour) const noexcept;
+  /// True when any grid-side fault (line outage, congestion spike, bus
+  /// demand shock) is active this hour — lets the coupler skip building a
+  /// per-hour fault view on calm hours.
+  bool grid_faulted(std::size_t hour) const noexcept;
+  /// Extents of the precomputed grid-fault arrays (max plan index + 1).
+  std::size_t grid_lines() const noexcept { return num_lines_; }
+  std::size_t grid_buses() const noexcept { return num_buses_; }
+
  private:
   bool enabled_ = false;
   std::size_t num_sites_ = 0;
@@ -248,6 +305,12 @@ class FaultInjector {
   std::vector<std::uint8_t> region_down_;   // [region * horizon + hour]
   std::vector<long> stall_nodes_;           // [region * horizon + hour]
   std::vector<std::size_t> squeeze_bytes_;  // [region * horizon + hour]
+  std::size_t num_lines_ = 0;               // grid-fault array extents
+  std::size_t num_buses_ = 0;
+  std::vector<std::uint8_t> line_out_;      // [line * horizon + hour]
+  std::vector<double> line_factor_;         // [line * horizon + hour]
+  std::vector<double> bus_mult_;            // [bus * horizon + hour]
+  std::vector<std::uint8_t> grid_faulted_;  // [hour]
 };
 
 }  // namespace billcap::core

@@ -43,6 +43,9 @@ void accumulate(MonthlyResult& result, HourRecord&& rec) {
     ++result.failure_tally[static_cast<std::size_t>(rec.failure)];
   result.feed_retry_attempts += static_cast<std::size_t>(rec.feed_attempts);
   result.feed_recovered_hours += rec.feed_recovered ? 1 : 0;
+  result.closed_loop_hours += rec.coupler_converged ? 1 : 0;
+  result.coupler_fallback_hours += rec.coupler_fallback ? 1 : 0;
+  result.coupler_iterations += rec.coupler_iterations;
   result.hours.push_back(std::move(rec));
 }
 
@@ -177,6 +180,12 @@ Simulator::Simulator(SimulationConfig config)
     plan_.chunk_stalls = explicit_plan.chunk_stalls;
   if (!explicit_plan.chunk_squeezes.empty())
     plan_.chunk_squeezes = explicit_plan.chunk_squeezes;
+  if (!explicit_plan.line_outages.empty())
+    plan_.line_outages = explicit_plan.line_outages;
+  if (!explicit_plan.grid_demand_shocks.empty())
+    plan_.grid_demand_shocks = explicit_plan.grid_demand_shocks;
+  if (!explicit_plan.congestion_spikes.empty())
+    plan_.congestion_spikes = explicit_plan.congestion_spikes;
   if (!plan_.empty())
     injector_ = FaultInjector(plan_, sites_.size(), evaluation_.hours());
 }
@@ -184,6 +193,32 @@ Simulator::Simulator(SimulationConfig config)
 MarketFeed Simulator::make_feed() const {
   return MarketFeed(&injector_, config_.market_feed,
                     config_.seed ^ 0x6d6172666565ULL);
+}
+
+std::unique_ptr<MarketCoupler> Simulator::make_coupler(
+    Strategy strategy) const {
+  if (!config_.market_coupler.enabled || strategy != Strategy::kCostCapping)
+    return nullptr;
+  return std::make_unique<MarketCoupler>(sites_, policies_, config_.optimizer,
+                                         config_.market_coupler);
+}
+
+market::CoupledHourFaults Simulator::grid_faults_at(
+    std::size_t fault_hour) const {
+  market::CoupledHourFaults faults;
+  if (!injector_.enabled() || !injector_.grid_faulted(fault_hour))
+    return faults;
+  faults.line_out.resize(injector_.grid_lines(), 0);
+  faults.line_limit_factor.resize(injector_.grid_lines(), 1.0);
+  for (std::size_t l = 0; l < injector_.grid_lines(); ++l) {
+    faults.line_out[l] = injector_.line_out(l, fault_hour) ? 1 : 0;
+    faults.line_limit_factor[l] = injector_.line_limit_factor(l, fault_hour);
+  }
+  faults.bus_demand_multiplier.resize(injector_.grid_buses(), 1.0);
+  for (std::size_t b = 0; b < injector_.grid_buses(); ++b)
+    faults.bus_demand_multiplier[b] =
+        injector_.bus_demand_multiplier(b, fault_hour);
+  return faults;
 }
 
 std::vector<double> Simulator::demand_at(std::size_t hour) const {
@@ -194,19 +229,23 @@ std::vector<double> Simulator::demand_at(std::size_t hour) const {
 }
 
 HourRecord Simulator::run_hour_cost_capping(const BillCapper& capper,
-                                            MarketFeed& feed, std::size_t hour,
+                                            MarketFeed& feed,
+                                            MarketCoupler* coupler,
+                                            std::size_t hour,
                                             double spent_so_far) const {
   // Without budget enforcement the capper still runs, but against an
   // unlimited budget: exactly step 1 (used for Figures 3 and 4).
   const double budget = config_.enforce_budget
                             ? budgeter_.hourly_budget(hour, spent_so_far)
                             : 1e18;
-  return run_capping_hour(capper, feed, hour, hour, evaluation_.at(hour),
-                          demand_at(hour), budget);
+  return run_capping_hour(capper, feed, coupler, hour, hour,
+                          evaluation_.at(hour), demand_at(hour), budget);
 }
 
 HourRecord Simulator::run_capping_hour(const BillCapper& capper,
-                                       MarketFeed& feed, std::size_t hour,
+                                       MarketFeed& feed,
+                                       MarketCoupler* coupler,
+                                       std::size_t hour,
                                        std::size_t fault_hour,
                                        double arrivals,
                                        std::vector<double> raw_demand,
@@ -255,12 +294,29 @@ HourRecord Simulator::run_capping_hour(const BillCapper& capper,
 
   // billcap-lint: allow(wall-clock): telemetry-only, never checkpointed
   const auto start = std::chrono::steady_clock::now();
-  const CappingOutcome outcome =
-      capper.decide(premium, ordinary, d, budget, overrides);
+  CappingOutcome outcome;
+  MarketCoupler::HourPlan plan;
+  GroundTruth truth;
+  if (coupler) {
+    // Closed market loop: plan against re-derived coupled curves (inside
+    // the fault envelope), then bill at the LMPs the realized draw itself
+    // produces — the fleet is a price maker on both sides.
+    MarketCoupler::HourInputs in;
+    in.premium = premium;
+    in.ordinary = ordinary;
+    in.true_demand_mw = d;
+    in.budget = budget;
+    in.overrides = &overrides;
+    in.faults = grid_faults_at(fault_hour);
+    plan = coupler->plan_hour(in, capper);
+    outcome = std::move(plan.outcome);
+    truth = coupler->bill(outcome.allocation.lambda_vector(), d, in.faults);
+  } else {
+    outcome = capper.decide(premium, ordinary, d, budget, overrides);
+    truth = evaluate_allocation(sites_, policies_, d,
+                                outcome.allocation.lambda_vector());
+  }
   const double ms = elapsed_ms(start);
-
-  const GroundTruth truth = evaluate_allocation(
-      sites_, policies_, d, outcome.allocation.lambda_vector());
 
   HourRecord rec;
   rec.hour = hour;
@@ -287,6 +343,22 @@ HourRecord Simulator::run_capping_hour(const BillCapper& capper,
   rec.stale_prices = feed_obs.stale;
   rec.feed_attempts = feed_obs.attempts;
   rec.feed_recovered = feed_obs.recovered;
+  if (coupler) {
+    // An oscillating/diverging coupled plan is a degraded hour even though
+    // the open-loop fallback that actually served it solved cleanly; the
+    // coupler's trouble is the root cause the tally should carry.
+    if (plan.oscillation) {
+      rec.degraded = true;
+      rec.failure = FailureReason::kPriceOscillation;
+    } else if (plan.diverged) {
+      rec.degraded = true;
+      rec.failure = FailureReason::kCouplerDiverged;
+    }
+    rec.coupler_iterations = plan.iterations;
+    rec.coupler_converged = plan.closed_loop;
+    rec.coupler_fallback = plan.fallback;
+    rec.coupler_rung = plan.rung;
+  }
   return rec;
 }
 
@@ -391,6 +463,8 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
       market::paper_background_demand(total, config_.seed ^ 0x9e3779b9);
   const BillCapper capper(sites_, policies_, config_.optimizer);
   MarketFeed feed = make_feed();
+  const std::unique_ptr<MarketCoupler> coupler =
+      make_coupler(Strategy::kCostCapping);
 
   std::vector<MonthlyResult> results;
   results.reserve(months);
@@ -418,8 +492,10 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
 
       // Fault hours continue across months; the month-scoped plan only
       // covers month 0, later hours report fault-free.
-      HourRecord rec = run_capping_hour(capper, feed, h, m * kMonthHours + h,
-                                        full.at(g), std::move(d), budget);
+      HourRecord rec =
+          run_capping_hour(capper, feed, coupler.get(), h,
+                           m * kMonthHours + h, full.at(g), std::move(d),
+                           budget);
       spent += rec.cost;
       accumulate(result, std::move(rec));
     }
@@ -429,11 +505,12 @@ std::vector<MonthlyResult> Simulator::run_months(std::size_t months) const {
 }
 
 HourRecord Simulator::run_one_hour(Strategy strategy, const BillCapper& capper,
-                                   MarketFeed& feed, std::size_t hour,
+                                   MarketFeed& feed, MarketCoupler* coupler,
+                                   std::size_t hour,
                                    double spent_so_far) const {
   switch (strategy) {
     case Strategy::kCostCapping:
-      return run_hour_cost_capping(capper, feed, hour, spent_so_far);
+      return run_hour_cost_capping(capper, feed, coupler, hour, spent_so_far);
     case Strategy::kMinOnlyAvg:
       return run_hour_min_only(hour, MinOnlyPriceModel::kAverage);
     case Strategy::kMinOnlyLow:
@@ -450,9 +527,11 @@ MonthlyResult Simulator::run(Strategy strategy) const {
 
   const BillCapper capper(sites_, policies_, config_.optimizer);
   MarketFeed feed = make_feed();
+  const std::unique_ptr<MarketCoupler> coupler = make_coupler(strategy);
   double spent = 0.0;
   for (std::size_t hour = 0; hour < evaluation_.hours(); ++hour) {
-    HourRecord rec = run_one_hour(strategy, capper, feed, hour, spent);
+    HourRecord rec =
+        run_one_hour(strategy, capper, feed, coupler.get(), hour, spent);
     spent += rec.cost;
     accumulate(result, std::move(rec));
   }
@@ -513,11 +592,17 @@ Simulator::ResumableOutcome Simulator::run_resumable(
 
   const BillCapper capper(sites_, policies_, config_.optimizer);
   MarketFeed feed = make_feed();
-  if (loaded)
+  const std::unique_ptr<MarketCoupler> coupler = make_coupler(strategy);
+  if (loaded) {
     feed.restore(st.feed);
-  else
+    // Coupler trajectories (warm-start point, breaker clock, ladder rung)
+    // must survive the kill for the resumed month to stay bit-identical.
+    if (coupler) coupler->restore(st.coupler);
+  } else {
     st.feed = feed.state();  // so a crash before the first commit persists
                              // the seeded stream, not a default-zero one
+    if (coupler) st.coupler = coupler->state();
+  }
 
   // Fault schedules, sorted by hour; the checkpointed counters are cursors
   // into them (entries consumed by earlier attempts never re-fire).
@@ -584,7 +669,8 @@ Simulator::ResumableOutcome Simulator::run_resumable(
         st.corruptions_fired < corruptions.size() &&
         corruptions[st.corruptions_fired].hour == hour;
 
-    HourRecord rec = run_one_hour(strategy, capper, feed, hour, st.spent);
+    HourRecord rec =
+        run_one_hour(strategy, capper, feed, coupler.get(), hour, st.spent);
 
     if (storm_now) {
       // One exit-storm death: the process dies before this hour's
@@ -626,6 +712,7 @@ Simulator::ResumableOutcome Simulator::run_resumable(
     st.spent += rec.cost;
     st.next_hour = hour + 1;
     st.feed = feed.state();
+    if (coupler) st.coupler = coupler->state();
     if (crash_now) ++st.crashes_fired;
     // Cursor snapping: a standby attempt walks past crash/storm hours
     // without consuming them; advance the cursors past everything at or

@@ -4,6 +4,7 @@
 #include <csignal>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "core/budgeter.hpp"
 #include "core/cost_model.hpp"
 #include "core/fault_injector.hpp"
+#include "core/market_coupler.hpp"
 #include "core/market_feed.hpp"
 #include "datacenter/datacenter.hpp"
 #include "market/pricing_policy.hpp"
@@ -61,6 +63,13 @@ struct SimulationConfig {
   /// each hour and can recover mid-interval. Default = frozen feed.
   MarketFeedOptions market_feed;
 
+  /// Closed-loop market coupling (Cost Capping only): the hour's allocation
+  /// feeds back into the DC-OPF as nodal demand and the curves re-derive
+  /// inside a bounded fixed point, with oscillation detection, a damping
+  /// ladder and a divergence breaker. Disabled = the legacy static-curve
+  /// world, byte-for-byte.
+  MarketCouplerOptions market_coupler;
+
   /// Degraded standby mode (the supervisor's escalation target): every
   /// hour is decided by the greedy premium-only fallback instead of the
   /// MILP, and injected controller crashes / exit storms do not fire (they
@@ -108,6 +117,12 @@ struct HourRecord {
   /// one of them landed (fresh data recovered mid-interval).
   int feed_attempts = 0;
   bool feed_recovered = false;
+
+  /// Closed-loop coupler bookkeeping (all zero when the coupler is off).
+  std::size_t coupler_iterations = 0;  ///< fixed-point iterations spent
+  bool coupler_converged = false;  ///< a converged coupled plan ran the hour
+  bool coupler_fallback = false;   ///< planned open-loop (breaker / trouble)
+  std::size_t coupler_rung = 0;    ///< damping rung in force
 };
 
 /// A full month of records plus the aggregates the figures report.
@@ -145,6 +160,13 @@ struct MonthlyResult {
   /// retry landed mid-interval (fresh data instead of a frozen feed).
   std::size_t feed_retry_attempts = 0;
   std::size_t feed_recovered_hours = 0;
+
+  /// Closed-loop coupler counters (zero for open-loop months). Oscillation
+  /// and divergence hour counts live in failure_tally under
+  /// kPriceOscillation / kCouplerDiverged.
+  std::size_t closed_loop_hours = 0;      ///< hours run on a converged plan
+  std::size_t coupler_fallback_hours = 0; ///< hours planned open-loop
+  std::size_t coupler_iterations = 0;     ///< total fixed-point iterations
 
   /// Controller crashes survived via checkpoint/resume (run_resumable).
   std::size_t crash_recoveries = 0;
@@ -186,6 +208,11 @@ class Simulator {
   /// The effective fault schedule: the explicit plan, or the plan drawn
   /// from `fault_rates` (controller crashes live here too).
   const FaultPlan& fault_plan() const noexcept { return plan_; }
+  /// The hour's grid-side hazards (line outages, demand shocks, congestion
+  /// derates), resolved from the fault injector. Nominal when no grid
+  /// fault covers the hour. Public so the serving daemon can derive the
+  /// same coupled curves the batch loop plans against.
+  market::CoupledHourFaults grid_faults_at(std::size_t fault_hour) const;
 
   /// Runs the whole month under one strategy.
   MonthlyResult run(Strategy strategy) const;
@@ -253,22 +280,26 @@ class Simulator {
 
  private:
   HourRecord run_hour_cost_capping(const BillCapper& capper, MarketFeed& feed,
-                                   std::size_t hour,
+                                   MarketCoupler* coupler, std::size_t hour,
                                    double spent_so_far) const;
   /// Shared core of run()'s and run_months()'s cost-capping hour:
   /// `fault_hour` indexes the fault injector (month-scoped plans do not
   /// repeat in later months), `raw_demand` is the unshocked background
-  /// demand for the hour.
+  /// demand for the hour. `coupler` may be null (static-curve world).
   HourRecord run_capping_hour(const BillCapper& capper, MarketFeed& feed,
-                              std::size_t hour, std::size_t fault_hour,
-                              double arrivals, std::vector<double> raw_demand,
+                              MarketCoupler* coupler, std::size_t hour,
+                              std::size_t fault_hour, double arrivals,
+                              std::vector<double> raw_demand,
                               double budget) const;
   HourRecord run_hour_min_only(std::size_t hour,
                                MinOnlyPriceModel price_model) const;
   HourRecord run_one_hour(Strategy strategy, const BillCapper& capper,
-                          MarketFeed& feed, std::size_t hour,
-                          double spent_so_far) const;
+                          MarketFeed& feed, MarketCoupler* coupler,
+                          std::size_t hour, double spent_so_far) const;
   MarketFeed make_feed() const;
+  /// A fresh per-run coupler, or null when coupling is off / the strategy
+  /// is not Cost Capping (the baselines know no step curves to re-derive).
+  std::unique_ptr<MarketCoupler> make_coupler(Strategy strategy) const;
   std::vector<double> demand_at(std::size_t hour) const;
 
   SimulationConfig config_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -16,6 +17,7 @@
 #include "core/formulation.hpp"
 #include "core/market_feed.hpp"
 #include "lp/problem.hpp"
+#include "market/closed_loop.hpp"
 #include "util/journal.hpp"
 
 namespace billcap::serve {
@@ -77,6 +79,14 @@ struct ServeState {
   AdmissionLevel admission = AdmissionLevel::kAdmitAll;
   ActivePlan plan;
 
+  // Closed-loop coupling: the plan lambda captured at the last hour
+  // boundary, from which the hour's coupled planning curves were derived.
+  // Persisted so a mid-hour resume re-derives the identical curves even
+  // after later re-plans replaced the plan itself.
+  bool coupled_anchor_valid = false;
+  std::vector<double> coupled_anchor;
+  std::size_t coupled_refreshes = 0;
+
   ServeHealth health = ServeHealth::kOk;
   std::string health_history;
   std::size_t health_transitions = 0;
@@ -135,6 +145,10 @@ void save_state(const std::string& path, std::size_t keep_generations,
   j.set_double_bits(keys::kServePlanOrdinaryRate, st.plan.ordinary_rate);
   j.set_double_bits(keys::kServePlanPredictedCost, st.plan.predicted_cost);
   j.set_size(keys::kServePlanTick, st.plan.plan_tick);
+
+  j.set_size(keys::kServeCoupledAnchorValid, st.coupled_anchor_valid ? 1 : 0);
+  j.set_double_list(keys::kServeCoupledAnchorLambda, st.coupled_anchor);
+  j.set_size(keys::kServeCoupledRefreshes, st.coupled_refreshes);
 
   j.set_size(keys::kServeHealth, static_cast<std::size_t>(st.health));
   j.set(keys::kServeHealthHistory, st.health_history);
@@ -210,6 +224,13 @@ ServeState decode_state(const util::Journal& j) {
   st.plan.ordinary_rate = j.get_double_bits(keys::kServePlanOrdinaryRate);
   st.plan.predicted_cost = j.get_double_bits(keys::kServePlanPredictedCost);
   st.plan.plan_tick = j.get_size(keys::kServePlanTick);
+
+  // Absent on pre-coupler serve checkpoints: loads as open-loop state.
+  if (j.has(keys::kServeCoupledAnchorValid)) {
+    st.coupled_anchor_valid = j.get_size(keys::kServeCoupledAnchorValid) != 0;
+    st.coupled_anchor = j.get_double_list(keys::kServeCoupledAnchorLambda);
+    st.coupled_refreshes = j.get_size(keys::kServeCoupledRefreshes);
+  }
 
   st.health = health_from(j.get_size(keys::kServeHealth));
   st.health_history = j.get(keys::kServeHealthHistory);
@@ -378,6 +399,27 @@ ServeOutcome ServeLoop::run(
   const std::size_t n = sites.size();
   const std::size_t eval_hours = sim_.evaluation_trace().hours();
 
+  // Closed-loop coupling: planning (re-plans and the water-filling ladder)
+  // runs against curves re-derived from the grid at every hour boundary,
+  // anchored at the plan the daemon was executing when the hour opened.
+  // Ground-truth billing below deliberately stays on the static settlement
+  // curves — the daemon prices its decisions against the coupled market but
+  // is billed on the tariff it actually signed.
+  const bool coupled = sim_cfg.market_coupler.enabled;
+  std::vector<market::PricingPolicy> active_policies = policies;
+  std::optional<market::CoupledMarket> coupled_market;
+  std::vector<double> coupled_caps;
+  if (coupled) {
+    coupled_market.emplace(market::CoupledMarket::paper());
+    if (coupled_market->num_sites() != n)
+      throw std::invalid_argument(
+          "ServeLoop: closed-loop coupling requires one site per coupled "
+          "market bus");
+    coupled_caps.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      coupled_caps[i] = sites[i].power_mw(sites[i].max_requests_per_hour());
+  }
+
   const RequestFeed arrivals_feed(sim_.evaluation_trace(), injector,
                                   sim_cfg.premium_share, T);
 
@@ -413,7 +455,7 @@ ServeOutcome ServeLoop::run(
   updates.restore(st.feed_pending, st.feed_seen, st.feed_dropped);
   AdmissionController admission(config_.admission, config_.standby);
   admission.restore(st.admission);
-  ReplanEngine engine(sites, policies, sim_cfg.optimizer,
+  ReplanEngine engine(sites, active_policies, sim_cfg.optimizer,
                       config_.replan_node_budget, config_.replan_deadline_ms,
                       config_.breaker);
   engine.breaker().restore(st.breaker);
@@ -426,6 +468,44 @@ ServeOutcome ServeLoop::run(
   std::vector<double> believed(n);
   std::vector<double> truth(n);
   std::vector<std::uint8_t> available(n);
+
+  // Re-derives the hour's coupled planning curves from the persisted
+  // anchor. Replacing active_policies' CONTENTS re-points the engine's
+  // capper (it holds a reference to the vector, not a copy). A derivation
+  // the grid cannot support (infeasible sweep under the hour's faults)
+  // falls back to the static curves until the next boundary — and a resume
+  // hits the same infeasibility, so the fallback is deterministic too.
+  const auto refresh_coupled = [&](std::size_t for_hour) {
+    std::vector<double> anchor_power(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double l =
+          i < st.coupled_anchor.size() ? st.coupled_anchor[i] : 0.0;
+      if (l > 0.0) anchor_power[i] = sites[i].power_mw(l);
+    }
+    const market::CoupledHourFaults faults = sim_.grid_faults_at(for_hour);
+    try {
+      active_policies = coupled_market->derive_local_policies(
+          anchor_power, believed, believed, coupled_caps,
+          sim_cfg.market_coupler.loop, &faults);
+      ++st.coupled_refreshes;
+    } catch (const std::exception&) {
+      active_policies = policies;
+    }
+  };
+
+  // A mid-hour resume must plan against the same curves the dead attempt
+  // did: rebuild the hour's believed demand from the persisted hour
+  // context and re-derive from the persisted anchor (not a new refresh —
+  // the counter stays what the checkpoint said).
+  if (coupled && resumed && st.coupled_anchor_valid) {
+    const std::size_t demand_hour = st.hour_stale ? st.observed_hour : st.hour;
+    for (std::size_t i = 0; i < n; ++i)
+      believed[i] = sim_.background_demand()[i].at(demand_hour) *
+                    injector.demand_multiplier(i, demand_hour);
+    const std::size_t refreshes = st.coupled_refreshes;
+    refresh_coupled(st.hour);
+    st.coupled_refreshes = refreshes;
+  }
 
   while (st.next_tick < total_ticks_) {
     if (controls.stop_flag && *controls.stop_flag) {
@@ -499,6 +579,17 @@ ServeOutcome ServeLoop::run(
       available[i] = injector.site_available(i, hour) ? 1 : 0;
     }
 
+    // ---- closed-loop coupling: hour-boundary curve refresh --------------
+    // Anchored at the plan the daemon carries into the hour; re-plans later
+    // in the hour re-decide against these curves but do not re-derive them
+    // (one grid sweep per hour, matching the batch coupler's cadence).
+    if (coupled && tick % T == 0) {
+      st.coupled_anchor =
+          st.plan.valid ? st.plan.lambda : std::vector<double>(n, 0.0);
+      st.coupled_anchor_valid = true;
+      refresh_coupled(hour);
+    }
+
     // ---- breaker clock + re-plan engine ---------------------------------
     engine.breaker().on_tick();
     bool replanned = false;
@@ -546,7 +637,7 @@ ServeOutcome ServeLoop::run(
       models.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
         core::SiteModel m = core::make_site_model(
-            sites[i], policies[i], believed[i],
+            sites[i], active_policies[i], believed[i],
             sim_cfg.optimizer.model_cooling_network);
         if (!available[i]) m.lambda_max = 0.0;
         models.push_back(std::move(m));
@@ -685,6 +776,7 @@ ServeOutcome ServeLoop::run(
   rep.feed_updates_dropped = st.feed_dropped;
   rep.replans = st.replans;
   rep.degraded_replans = st.degraded_replans;
+  rep.coupled_refreshes = st.coupled_refreshes;
   rep.breaker_trips = st.breaker.trips;
   rep.shed_ticks = st.shed_ticks;
   rep.standby_ticks = st.standby_ticks;

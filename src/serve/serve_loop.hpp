@@ -109,6 +109,10 @@ struct ServeReport {
   std::size_t feed_updates_dropped = 0;
   std::size_t replans = 0;
   std::size_t degraded_replans = 0;
+  /// Hour boundaries whose coupled planning curves actually derived (an
+  /// infeasible grid sweep falls back to static curves and is not counted).
+  /// Always 0 when closed-loop coupling is off.
+  std::size_t coupled_refreshes = 0;
   std::size_t breaker_trips = 0;
   std::size_t shed_ticks = 0;
   std::size_t standby_ticks = 0;

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <string>
 
+#include "core/checkpoint_keys.hpp"
 #include "core/simulator.hpp"
 #include "util/journal.hpp"
 
@@ -128,7 +129,25 @@ void expect_states_bitwise_equal(const CheckpointState& a,
     EXPECT_EQ(p.stale_prices, q.stale_prices);
     EXPECT_EQ(p.feed_attempts, q.feed_attempts);
     EXPECT_EQ(p.feed_recovered, q.feed_recovered);
+    EXPECT_EQ(p.coupler_iterations, q.coupler_iterations);
+    EXPECT_EQ(p.coupler_converged, q.coupler_converged);
+    EXPECT_EQ(p.coupler_fallback, q.coupler_fallback);
+    EXPECT_EQ(p.coupler_rung, q.coupler_rung);
   }
+
+  EXPECT_EQ(x.closed_loop_hours, y.closed_loop_hours);
+  EXPECT_EQ(x.coupler_fallback_hours, y.coupler_fallback_hours);
+  EXPECT_EQ(x.coupler_iterations, y.coupler_iterations);
+  EXPECT_EQ(a.coupler.breaker_state, b.coupler.breaker_state);
+  EXPECT_EQ(a.coupler.consecutive_troubled, b.coupler.consecutive_troubled);
+  EXPECT_EQ(a.coupler.cooldown_remaining, b.coupler.cooldown_remaining);
+  EXPECT_EQ(a.coupler.current_cooldown_hours, b.coupler.current_cooldown_hours);
+  EXPECT_EQ(a.coupler.trips, b.coupler.trips);
+  EXPECT_EQ(a.coupler.rung, b.coupler.rung);
+  EXPECT_EQ(a.coupler.clean_streak, b.coupler.clean_streak);
+  EXPECT_EQ(a.coupler.last_valid, b.coupler.last_valid);
+  EXPECT_EQ(a.coupler.last_power_mw, b.coupler.last_power_mw);
+  EXPECT_EQ(a.coupler.last_active, b.coupler.last_active);
 }
 
 TEST(CheckpointTest, SaveLoadRoundTripIsBitwise) {
@@ -365,6 +384,113 @@ TEST(CheckpointTest, DigestSeparatesStormAndCorruptionPlans) {
   other = config;
   other.standby = true;
   EXPECT_EQ(base, checkpoint_digest(other, Strategy::kCostCapping));
+}
+
+/// sample_state() with every coupler-era field off its default: a month
+/// that iterated, oscillated once, tripped the breaker and is mid-cooldown.
+CheckpointState coupler_sample_state() {
+  CheckpointState st = sample_state();
+  st.coupler.breaker_state = 1;
+  st.coupler.consecutive_troubled = 2;
+  st.coupler.cooldown_remaining = 5;
+  st.coupler.current_cooldown_hours = 8;
+  st.coupler.trips = 3;
+  st.coupler.rung = 2;
+  st.coupler.clean_streak = 1;
+  st.coupler.last_valid = true;
+  st.coupler.last_power_mw = {12.5, 0.0, 30.0625};
+  st.coupler.last_active = {1, 0, 1};
+  st.partial.closed_loop_hours = 1;
+  st.partial.coupler_fallback_hours = 1;
+  st.partial.coupler_iterations = 11;
+  for (std::size_t h = 0; h < st.partial.hours.size(); ++h) {
+    HourRecord& rec = st.partial.hours[h];
+    rec.coupler_iterations = 3 + h;
+    rec.coupler_converged = (h == 0);
+    rec.coupler_fallback = (h == 1);
+    rec.coupler_rung = h;
+    if (h == 1) rec.failure = FailureReason::kPriceOscillation;
+  }
+  return st;
+}
+
+TEST(CheckpointTest, PreCouplerJournalLoadsWithFreshCouplerState) {
+  // Regression gate for the ISSUE-9 format extension: a journal written
+  // BEFORE the closed-loop coupler existed — no coupler_* keys, hour
+  // records ending at the v1 field set — must load cleanly, with the
+  // coupler state reading as a fresh (default) coupler. The legacy file
+  // is rebuilt from the v1 key registry, which is byte-for-byte what the
+  // pre-coupler writer produced.
+  const std::string modern_path = temp_path("billcap_checkpoint_modern.j");
+  const std::string legacy_path = temp_path("billcap_checkpoint_legacy.j");
+  const CheckpointState st = sample_state();  // coupler fields at defaults
+  save_checkpoint(modern_path, st);
+
+  const util::Journal modern = util::Journal::load(
+      modern_path, keys::kCheckpointMagic, keys::kCheckpointVersion);
+  util::Journal legacy(keys::kCheckpointMagic, keys::kCheckpointVersion);
+  const char* v1_keys[] = {
+      keys::kConfigDigest,        keys::kStrategy,
+      keys::kNextHour,            keys::kSpent,
+      keys::kCrashesFired,        keys::kStormsFired,
+      keys::kCorruptionsFired,    keys::kFeedRecoveredUntil,
+      keys::kMonthlyBudget,       keys::kTotalCost,
+      keys::kTotalPremiumArrivals, keys::kTotalOrdinaryArrivals,
+      keys::kTotalServedPremium,  keys::kTotalServedOrdinary,
+      keys::kMaxSolveMs,          keys::kDegradedHours,
+      keys::kIncumbentHours,      keys::kHeuristicHours,
+      keys::kOutageHours,         keys::kStaleHours,
+      keys::kFeedRetryAttempts,   keys::kFeedRecoveredHours,
+      keys::kCrashRecoveries,     keys::kFailureTally,
+      keys::kDegradedChunks,      keys::kQuarantinedChunks,
+      keys::kRegionDownChunks,    keys::kChunkFailureTally,
+      keys::kHours,
+  };
+  for (const char* key : v1_keys) legacy.set(key, modern.get(key));
+  for (std::size_t i = 0; i < 4; ++i)
+    legacy.set(keys::feed_rng(i), modern.get(keys::feed_rng(i)));
+  for (std::size_t h = 0; h < st.partial.hours.size(); ++h) {
+    // A v1 hour record is the modern blob minus the appended coupler tail
+    // (four zero tokens for a default record).
+    std::string blob = modern.get(keys::hour(h));
+    ASSERT_TRUE(blob.size() >= 8 && blob.substr(blob.size() - 8) == "0 0 0 0 ")
+        << "hour " << h << " blob does not end in the default coupler tail";
+    legacy.set(keys::hour(h), blob.substr(0, blob.size() - 8));
+  }
+  legacy.save_atomic(legacy_path);
+
+  const CheckpointState back = load_checkpoint(legacy_path);
+  expect_states_bitwise_equal(st, back);
+  EXPECT_EQ(back.coupler.breaker_state, 0u);
+  EXPECT_EQ(back.partial.closed_loop_hours, 0u);
+  EXPECT_TRUE(back.coupler.last_power_mw.empty());
+
+  std::remove(modern_path.c_str());
+  std::remove(legacy_path.c_str());
+}
+
+TEST(CheckpointTest, CouplerEraJournalRoundTripsBitwise) {
+  // The other direction of the compat contract: a checkpoint carrying a
+  // live coupler trajectory (breaker mid-cooldown, per-hour iteration
+  // records, an oscillation failure) round-trips with every field intact,
+  // and re-saving the loaded state reproduces the file byte-for-byte.
+  const std::string path = temp_path("billcap_checkpoint_coupler.j");
+  const std::string resaved = temp_path("billcap_checkpoint_coupler2.j");
+  const CheckpointState st = coupler_sample_state();
+  save_checkpoint(path, st);
+  const CheckpointState back = load_checkpoint(path);
+  expect_states_bitwise_equal(st, back);
+  EXPECT_EQ(back.partial.hours[1].failure, FailureReason::kPriceOscillation);
+
+  save_checkpoint(resaved, back);
+  std::ifstream a(path, std::ios::binary), b(resaved, std::ios::binary);
+  const std::string text_a(std::istreambuf_iterator<char>(a),
+                           std::istreambuf_iterator<char>{});
+  const std::string text_b(std::istreambuf_iterator<char>(b),
+                           std::istreambuf_iterator<char>{});
+  EXPECT_EQ(text_a, text_b) << "re-saved coupler-era journal differs";
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
 }
 
 TEST(CheckpointTest, HourCountInconsistencyIsRejected) {

@@ -1,0 +1,24 @@
+// Fixture: BL025 fixed-point. Never compiled — scanned by lint_test only.
+// Convergence-driven while loops with no visible iteration cap or epsilon
+// exit: reaching the fixed point is a hope, not a bound, and a period-2
+// price orbit spins both of these forever.
+
+double relax_step(double x);
+bool oscillating(double x);
+double damp(double x);
+
+double relax_until_settled(double state) {
+  bool converged = false;
+  while (!converged) {
+    const double next = relax_step(state);
+    converged = next == state;
+    state = next;
+  }
+  return state;
+}
+
+double settle_price(double price) {
+  while (oscillating(price))
+    price = damp(price);
+  return price;
+}

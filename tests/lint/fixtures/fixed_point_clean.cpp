@@ -1,0 +1,45 @@
+// Fixture: BL025's sanctioned shapes scan clean. Never compiled.
+// Each loop is convergence-driven yet visibly bounded: an iteration cap
+// alongside the flag, an epsilon comparison in the condition, or an
+// escape hatch in the body.
+
+double relax_step(double x);
+double residual_of(double x);
+
+double capped_iteration(double state, int max_iters) {
+  bool converged = false;
+  for (int iter = 0; iter < max_iters && !converged; ++iter) {
+    const double next = relax_step(state);
+    converged = next == state;
+    state = next;
+  }
+  return state;
+}
+
+double flag_and_counter(double state, int max_iters) {
+  bool converged = false;
+  int iter = 0;
+  while (!converged && iter < max_iters) {
+    state = relax_step(state);
+    converged = residual_of(state) == 0.0;
+    ++iter;
+  }
+  return state;
+}
+
+double epsilon_exit(double state, double eps) {
+  while (residual_of(state) > eps) state = relax_step(state);
+  return state;
+}
+
+double body_escape(double state) {
+  bool converged = false;
+  int rounds = 0;
+  while (!converged) {
+    if (++rounds == 64) break;
+    const double next = relax_step(state);
+    converged = next == state;
+    state = next;
+  }
+  return state;
+}

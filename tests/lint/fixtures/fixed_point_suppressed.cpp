@@ -1,0 +1,10 @@
+// Fixture: an annotated BL025 hazard scans clean. Never compiled.
+
+bool advance(double& x);
+
+double sanctioned_fixed_point(double state) {
+  bool converged = false;
+  // billcap-lint: allow(fixed-point): map is contractive, gain < 1 proven
+  while (!converged) converged = advance(state);
+  return state;
+}

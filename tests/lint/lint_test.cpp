@@ -45,6 +45,7 @@ TEST(LintFixtures, EachKnownBadFixtureTriggersExactlyItsRule) {
       {"unbounded_queue.cpp", Rule::kUnboundedQueue},
       {"solve_alloc.cpp", Rule::kSolveAlloc},
       {"parallel_reduce.cpp", Rule::kParallelReduce},
+      {"fixed_point.cpp", Rule::kFixedPoint},
       {"bare_allow.cpp", Rule::kBareAllow},
   };
   for (const FixtureCase& c : cases)
@@ -75,6 +76,17 @@ TEST(LintFixtures, SolverLoopGrowthIsSanctionedByReserveOrAllow) {
   // rationale sanctions a deliberate cold-path allocation.
   for (const char* fixture :
        {"solve_alloc_clean.cpp", "solve_alloc_suppressed.cpp"}) {
+    for (const Finding& f : scan_file(fixture_path(fixture)))
+      ADD_FAILURE() << fixture << ": " << format_finding(f);
+  }
+}
+
+TEST(LintFixtures, BoundedConvergenceLoopsAreSanctioned) {
+  // BL025's escape hatches: a cap or epsilon comparison in the condition,
+  // an iteration counter, a body escape, or an allow(fixed-point) with a
+  // rationale.
+  for (const char* fixture :
+       {"fixed_point_clean.cpp", "fixed_point_suppressed.cpp"}) {
     for (const Finding& f : scan_file(fixture_path(fixture)))
       ADD_FAILURE() << fixture << ": " << format_finding(f);
   }

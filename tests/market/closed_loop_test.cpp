@@ -1,0 +1,150 @@
+// Pure-unit tests for the closed-loop coupler's two safety mechanisms:
+// the oscillation detector (a period-k cycle finder over fixed-point
+// iterates) and the damping ladder (escalate-per-trouble, de-escalate
+// after a clean streak). Both are exercised here without a grid, a
+// solver or a simulator — they are plain deterministic state machines.
+
+#include "market/closed_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace billcap::market {
+namespace {
+
+TEST(OscillationDetectorTest, PeriodTwoCycleFires) {
+  OscillationDetector detector(/*window=*/8, /*tol_mw=*/0.5);
+  const std::vector<double> a = {10.0, 40.0};
+  const std::vector<double> b = {30.0, 5.0};
+  bool fired = false;
+  // A period-2 orbit must be caught within the window: two full periods
+  // of evidence is four pushes, so it certainly fires by push eight.
+  for (int i = 0; i < 8 && !fired; ++i) fired = detector.push(i % 2 ? b : a);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(detector.period(), 2u);
+}
+
+TEST(OscillationDetectorTest, PeriodThreeCycleFires) {
+  OscillationDetector detector(/*window=*/8, /*tol_mw=*/0.5);
+  const std::vector<std::vector<double>> orbit = {
+      {10.0}, {25.0}, {40.0}};
+  bool fired = false;
+  std::size_t fired_at = 0;
+  for (std::size_t i = 0; i < 12 && !fired; ++i) {
+    fired = detector.push(orbit[i % 3]);
+    fired_at = i;
+  }
+  EXPECT_TRUE(fired) << "period-3 orbit never detected";
+  EXPECT_EQ(detector.period(), 3u) << "fired at push " << fired_at;
+}
+
+TEST(OscillationDetectorTest, SettlingSequenceNeverFires) {
+  // Geometric convergence toward a fixed point: consecutive deltas shrink
+  // under the tolerance, which is plain (period-1) convergence, not a
+  // cycle — the detector must stay silent the whole way down.
+  OscillationDetector detector(/*window=*/8, /*tol_mw=*/0.5);
+  double x = 64.0;
+  for (int i = 0; i < 16; ++i) {
+    const std::vector<double> iterate = {100.0 - x};
+    EXPECT_FALSE(detector.push(iterate)) << "fired on settling push " << i;
+    x *= 0.5;
+  }
+  EXPECT_EQ(detector.period(), 0u);
+}
+
+TEST(OscillationDetectorTest, SlowMonotoneDriftNeverFires) {
+  // Every step moves by more than the tolerance but never revisits an
+  // earlier iterate: no cycle, no firing, however long it runs.
+  OscillationDetector detector(/*window=*/8, /*tol_mw=*/0.5);
+  for (int i = 0; i < 32; ++i) {
+    const std::vector<double> iterate = {2.0 * i, 100.0 - 2.0 * i};
+    EXPECT_FALSE(detector.push(iterate)) << "fired on drift push " << i;
+  }
+}
+
+TEST(OscillationDetectorTest, ResetForgetsTheOrbit) {
+  OscillationDetector detector(/*window=*/8, /*tol_mw=*/0.5);
+  const std::vector<double> a = {10.0};
+  const std::vector<double> b = {30.0};
+  bool fired = false;
+  for (int i = 0; i < 8 && !fired; ++i) fired = detector.push(i % 2 ? b : a);
+  ASSERT_TRUE(fired);
+  detector.reset();
+  EXPECT_EQ(detector.period(), 0u);
+  // After a reset the detector needs fresh evidence of two full periods
+  // again; the first few pushes cannot fire.
+  EXPECT_FALSE(detector.push(a));
+  EXPECT_FALSE(detector.push(b));
+  EXPECT_FALSE(detector.push(a));
+}
+
+TEST(DampingLadderTest, TroubledHoursEscalateOneRungEach) {
+  DampingLadder ladder(/*deescalate_after=*/3);
+  EXPECT_EQ(ladder.rung(), 0u);
+  ladder.on_hour(/*troubled=*/true);
+  EXPECT_EQ(ladder.rung(), 1u);
+  ladder.on_hour(true);
+  EXPECT_EQ(ladder.rung(), 2u);
+  ladder.on_hour(true);
+  EXPECT_EQ(ladder.rung(), 3u);
+  // Saturates at the top rung; more trouble cannot push it past kMaxRung.
+  ladder.on_hour(true);
+  EXPECT_EQ(ladder.rung(), DampingLadder::kMaxRung);
+}
+
+TEST(DampingLadderTest, DeescalatesOnlyAfterCleanStreak) {
+  DampingLadder ladder(/*deescalate_after=*/3);
+  ladder.on_hour(true);
+  ladder.on_hour(true);
+  ASSERT_EQ(ladder.rung(), 2u);
+  // Two clean hours are not enough; the third completes the streak.
+  ladder.on_hour(false);
+  ladder.on_hour(false);
+  EXPECT_EQ(ladder.rung(), 2u);
+  ladder.on_hour(false);
+  EXPECT_EQ(ladder.rung(), 1u);
+  // One step down per completed streak, not a collapse to zero.
+  ladder.on_hour(false);
+  ladder.on_hour(false);
+  EXPECT_EQ(ladder.rung(), 1u);
+  ladder.on_hour(false);
+  EXPECT_EQ(ladder.rung(), 0u);
+}
+
+TEST(DampingLadderTest, TroubleResetsTheCleanStreak) {
+  DampingLadder ladder(/*deescalate_after=*/3);
+  ladder.on_hour(true);
+  ladder.on_hour(true);
+  ASSERT_EQ(ladder.rung(), 2u);
+  ladder.on_hour(false);
+  ladder.on_hour(false);
+  ladder.on_hour(true);  // streak broken at two — and escalates
+  EXPECT_EQ(ladder.rung(), 3u);
+  ladder.on_hour(false);
+  ladder.on_hour(false);
+  ladder.on_hour(false);
+  EXPECT_EQ(ladder.rung(), 2u);
+}
+
+TEST(DampingLadderTest, SnapshotRestoreRoundTrips) {
+  DampingLadder ladder(/*deescalate_after=*/3);
+  ladder.on_hour(true);
+  ladder.on_hour(true);
+  ladder.on_hour(false);
+  const DampingLadder::State saved = ladder.snapshot();
+  EXPECT_EQ(saved.rung, 2u);
+  EXPECT_EQ(saved.clean_streak, 1u);
+
+  DampingLadder fresh(/*deescalate_after=*/3);
+  fresh.restore(saved);
+  EXPECT_EQ(fresh.rung(), 2u);
+  // The restored streak continues where the snapshot left off: two more
+  // clean hours complete it and step the ladder down.
+  fresh.on_hour(false);
+  fresh.on_hour(false);
+  EXPECT_EQ(fresh.rung(), 1u);
+}
+
+}  // namespace
+}  // namespace billcap::market

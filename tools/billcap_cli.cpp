@@ -14,6 +14,12 @@
 //                      [--exit-storm h:n,...] [--corrupt-checkpoint-at h,..]
 //                      [--standby [--standby-hours N]]
 //                      [--min-premium r]
+//                      [--closed-loop [--coupler-max-iters N]
+//                       [--coupler-gain G] [--damping off|ladder|full]
+//                       [--coupler-open-plan]]
+//                      [--line-outage l:start:dur,...]
+//                      [--bg-shock bus:start:dur:mult,...]
+//                      [--congestion-spike l:start:dur:factor,...]
 //   billcap serve      [simulate config/fault flags...]
 //                      [--ticks-per-hour T] [--hours H]
 //                      [--premium-queue-ticks Q] [--ordinary-queue-ticks Q]
@@ -198,6 +204,33 @@ void parse_faults(const util::CliArgs& args, core::SimulationConfig& config) {
         {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
          static_cast<std::size_t>(t[2])});
   }
+  // Grid-side hazards (bite the closed-loop coupler; legacy static-curve
+  // months ignore them by construction since their prices are fixed).
+  for (const auto& t :
+       parse_tuples(args.get("line-outage"), 3, "line-outage")) {
+    require_duration(t[2], "line-outage", "");
+    config.fault_plan.line_outages.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         static_cast<std::size_t>(t[2])});
+  }
+  for (const auto& t : parse_tuples(args.get("bg-shock"), 4, "bg-shock")) {
+    require_duration(t[2], "bg-shock", "");
+    if (t[3] <= 0.0)
+      throw util::UsageError("--bg-shock: multiplier must be > 0");
+    config.fault_plan.grid_demand_shocks.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         static_cast<std::size_t>(t[2]), t[3]});
+  }
+  for (const auto& t :
+       parse_tuples(args.get("congestion-spike"), 4, "congestion-spike")) {
+    require_duration(t[2], "congestion-spike", "");
+    if (t[3] <= 0.0 || t[3] > 1.0)
+      throw util::UsageError(
+          "--congestion-spike: limit factor must be in (0, 1]");
+    config.fault_plan.congestion_spikes.push_back(
+        {static_cast<std::size_t>(t[0]), static_cast<std::size_t>(t[1]),
+         static_cast<std::size_t>(t[2]), t[3]});
+  }
 
   config.fault_rates.outage_rate = args.get_prob("fault-outage-rate", 0.0);
   config.fault_rates.stale_rate = args.get_prob("fault-stale-rate", 0.0);
@@ -235,23 +268,71 @@ void parse_faults(const util::CliArgs& args, core::SimulationConfig& config) {
   config.optimizer.warm_hourly_solver = args.get_bool("warm-solver", false);
 }
 
-/// Column set of the per-hour CSV (written whole for plain runs, streamed
-/// row-by-row for checkpointed ones).
-std::vector<std::string> hour_csv_header() {
-  return {"hour", "arrivals", "served_premium", "served_ordinary",
-          "hourly_budget", "cost", "mode", "degraded", "failure",
-          "sites_down", "stale", "feed_retries", "feed_recovered"};
+/// Parses the closed-loop coupler flags. --closed-loop turns the coupler
+/// on; the other --coupler-* / --damping flags refine it and are usage
+/// errors without it (a silent no-op here would fake a closed-loop run).
+void parse_coupler(const util::CliArgs& args, core::SimulationConfig& config) {
+  config.market_coupler.enabled = args.get_bool("closed-loop", false);
+  if (!config.market_coupler.enabled) {
+    for (const char* flag :
+         {"coupler-max-iters", "coupler-gain", "damping", "coupler-open-plan"})
+      if (args.has(flag))
+        throw util::UsageError(std::string("--") + flag +
+                               " requires --closed-loop");
+    return;
+  }
+  config.market_coupler.loop.max_iters = static_cast<std::size_t>(
+      args.get_positive_long("coupler-max-iters", 12));
+  config.market_coupler.loop.feedback_gain =
+      args.get_positive_double("coupler-gain", 1.0);
+  const std::string damping = args.get("damping", "ladder");
+  if (damping == "off")
+    config.market_coupler.damping = core::DampingMode::kOff;
+  else if (damping == "ladder")
+    config.market_coupler.damping = core::DampingMode::kLadder;
+  else if (damping == "full")
+    config.market_coupler.damping = core::DampingMode::kFull;
+  else
+    throw util::UsageError("--damping: expected off | ladder | full");
+  // The open-loop arm of the resilience comparison: coupled billing, but
+  // planning stays on the static curves (no feedback iteration).
+  config.market_coupler.plan_closed_loop =
+      !args.get_bool("coupler-open-plan", false);
 }
 
-std::vector<std::string> hour_csv_row(const core::HourRecord& h) {
-  return {std::to_string(h.hour), util::format_double(h.arrivals),
-          util::format_double(h.served_premium),
-          util::format_double(h.served_ordinary),
-          util::format_double(h.hourly_budget),
-          util::format_double(h.cost), core::to_string(h.mode),
-          h.degraded ? "1" : "0", core::to_string(h.failure),
-          std::to_string(h.sites_down), h.stale_prices ? "1" : "0",
-          std::to_string(h.feed_attempts), h.feed_recovered ? "1" : "0"};
+/// Column set of the per-hour CSV (written whole for plain runs, streamed
+/// row-by-row for checkpointed ones). The coupler columns appear only for
+/// closed-loop runs, so legacy CSVs stay byte-for-byte identical.
+std::vector<std::string> hour_csv_header(bool coupled) {
+  std::vector<std::string> cols = {
+      "hour", "arrivals", "served_premium", "served_ordinary",
+      "hourly_budget", "cost", "mode", "degraded", "failure",
+      "sites_down", "stale", "feed_retries", "feed_recovered"};
+  if (coupled) {
+    cols.insert(cols.end(), {"coupler_iters", "coupler_converged",
+                             "coupler_fallback", "coupler_rung"});
+  }
+  return cols;
+}
+
+std::vector<std::string> hour_csv_row(const core::HourRecord& h,
+                                      bool coupled) {
+  std::vector<std::string> row = {
+      std::to_string(h.hour), util::format_double(h.arrivals),
+      util::format_double(h.served_premium),
+      util::format_double(h.served_ordinary),
+      util::format_double(h.hourly_budget),
+      util::format_double(h.cost), core::to_string(h.mode),
+      h.degraded ? "1" : "0", core::to_string(h.failure),
+      std::to_string(h.sites_down), h.stale_prices ? "1" : "0",
+      std::to_string(h.feed_attempts), h.feed_recovered ? "1" : "0"};
+  if (coupled) {
+    row.push_back(std::to_string(h.coupler_iterations));
+    row.push_back(h.coupler_converged ? "1" : "0");
+    row.push_back(h.coupler_fallback ? "1" : "0");
+    row.push_back(std::to_string(h.coupler_rung));
+  }
+  return row;
 }
 
 /// SIGTERM/SIGINT land here during a checkpointed run: the hourly loop
@@ -268,8 +349,13 @@ int cmd_simulate(const util::CliArgs& args) {
   config.enforce_budget = !args.get_bool("no-cap", false);
   config.standby = args.get_bool("standby", false);
   parse_faults(args, config);
+  parse_coupler(args, config);
   const core::Strategy strategy =
       parse_strategy(args.get("strategy", "costcapping"));
+  if (config.market_coupler.enabled &&
+      strategy != core::Strategy::kCostCapping)
+    throw util::UsageError("--closed-loop is CostCapping only");
+  const bool coupled = config.market_coupler.enabled;
   // Below this premium throughput the run counts as an unrecoverable
   // failure: the QoS guarantee was broken (exit code 3).
   const double min_premium = args.get_prob("min-premium", 0.995);
@@ -343,9 +429,9 @@ int cmd_simulate(const util::CliArgs& args) {
       // checkpoint vouches for, so a resumed run appends without
       // duplicating hours.
       if (!writer)
-        writer = std::make_unique<util::CsvWriter>(csv_path,
-                                                   hour_csv_header(), h.hour);
-      writer->add_row(hour_csv_row(h));
+        writer = std::make_unique<util::CsvWriter>(
+            csv_path, hour_csv_header(coupled), h.hour);
+      writer->add_row(hour_csv_row(h, coupled));
     };
 
     // Honour SIGTERM/SIGINT as a graceful stop: finish the hour, commit
@@ -446,11 +532,25 @@ int cmd_simulate(const util::CliArgs& args) {
   }
   if (r.crash_recoveries > 0)
     table.add_row({"crash recoveries", std::to_string(r.crash_recoveries)});
+  if (coupled) {
+    table.add_row({"closed-loop hours", std::to_string(r.closed_loop_hours)});
+    table.add_row(
+        {"coupler fallback hours", std::to_string(r.coupler_fallback_hours)});
+    table.add_row(
+        {"oscillation hours",
+         std::to_string(r.failure_tally[static_cast<std::size_t>(
+             core::FailureReason::kPriceOscillation)])});
+    table.add_row({"diverged hours",
+                   std::to_string(r.failure_tally[static_cast<std::size_t>(
+                       core::FailureReason::kCouplerDiverged)])});
+    table.add_row(
+        {"coupler iterations", std::to_string(r.coupler_iterations)});
+  }
   table.print(std::cout);
 
   if (!csv_path.empty() && checkpoint_path.empty()) {
-    util::Csv csv(hour_csv_header());
-    for (const auto& h : r.hours) csv.add_row(hour_csv_row(h));
+    util::Csv csv(hour_csv_header(coupled));
+    for (const auto& h : r.hours) csv.add_row(hour_csv_row(h, coupled));
     csv.save(csv_path);
     std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), csv.num_rows());
   }
@@ -503,6 +603,7 @@ int cmd_serve(const util::CliArgs& args) {
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2012));
   config.enforce_budget = !args.get_bool("no-cap", false);
   parse_faults(args, config);
+  parse_coupler(args, config);
 
   serve::ServeConfig serve_config;
   serve_config.ticks_per_hour =
@@ -648,6 +749,9 @@ int cmd_serve(const util::CliArgs& args) {
                                  std::to_string(r.degraded_replans) +
                                  " degraded)"});
   table.add_row({"breaker trips", std::to_string(r.breaker_trips)});
+  if (config.market_coupler.enabled)
+    table.add_row(
+        {"coupled curve refreshes", std::to_string(r.coupled_refreshes)});
   table.add_row({"shed ticks", std::to_string(r.shed_ticks)});
   table.add_row({"standby ticks", std::to_string(r.standby_ticks)});
   table.add_row({"final health", serve::to_string(r.final_health)});
@@ -894,6 +998,17 @@ int cmd_help() {
       "              --die-on-crash  injected crashes SIGKILL the process\n"
       "              --standby [--standby-hours N]  degraded premium-only\n"
       "              mode (no MILP), N committed hours per attempt\n"
+      "            closed market loop: --closed-loop (plan against curves\n"
+      "              re-derived from the fleet's own price impact, billed at\n"
+      "              realized LMPs) --coupler-max-iters N --coupler-gain G\n"
+      "              --damping off|ladder|full --coupler-open-plan (static\n"
+      "              planning, coupled billing). Grid hazards:\n"
+      "              --line-outage line:start:dur,...\n"
+      "              --bg-shock bus:start:dur:mult,...\n"
+      "              --congestion-spike line:start:dur:factor,...\n"
+      "              An oscillating or diverging hour falls back open-loop\n"
+      "              (breaker), counts degraded, and exits 0 unless the\n"
+      "              premium guarantee itself breaks (exit 3).\n"
       "            --deadline-ms M   hard wall-clock limit per solve\n"
       "            --warm-solver     hour-over-hour solver warm starts\n"
       "                              (faster; costs bitwise kill/resume)\n"

@@ -44,6 +44,17 @@ cmake --build "$ROOT/$PREFIX" -j "$JOBS" --target fleet_sweep
 (cd "$ROOT/$PREFIX/bench" && ./fleet_sweep --months 24)
 cp "$ROOT/$PREFIX/bench/BENCH_fleet.json" "$ROOT/BENCH_fleet.json"
 
+echo "== bench: closed-loop market coupler envelope (BENCH_market.json) =="
+# The coupler safety contract on the corner configurations: the
+# destabilizing gain must oscillate, open the divergence breaker and
+# still keep premium QoS; the damped paper gain must converge closed-loop
+# on every hour of the month, bitwise deterministically. Exits nonzero on
+# any broken gate. The full gain x damping grid is a manual run
+# (`./market_loop`).
+cmake --build "$ROOT/$PREFIX" -j "$JOBS" --target market_loop
+(cd "$ROOT/$PREFIX/bench" && ./market_loop --smoke)
+cp "$ROOT/$PREFIX/bench/BENCH_market.json" "$ROOT/BENCH_market.json"
+
 echo "== tier 2: robustness label under address,undefined sanitizers =="
 # Includes solver_test (the arena-vs-legacy differential harness and the
 # basis/arena property tests), which carries the robustness label so every

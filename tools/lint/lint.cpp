@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,7 +15,7 @@ namespace {
 
 // ---- rule catalogue --------------------------------------------------------
 
-constexpr std::array<RuleInfo, 12> kRules = {{
+constexpr std::array<RuleInfo, 13> kRules = {{
     {Rule::kWallClock, "BL001", "wall-clock",
      "wall-clock time and ambient PRNGs make a resumed month diverge from "
      "an uninterrupted one"},
@@ -49,6 +50,10 @@ constexpr std::array<RuleInfo, 12> kRules = {{
      "a reduction whose order depends on thread scheduling (accumulating "
      "under a mutex, atomic adds on floats) breaks bitwise determinism; "
      "write results to indexed slots and fold in a fixed order"},
+    {Rule::kFixedPoint, "BL025", "fixed-point",
+     "a convergence-driven while loop with no visible iteration cap or "
+     "epsilon exit can cycle forever (a fixed point is a hope, not a "
+     "bound); cap the iterations like the market coupler's max_iters"},
     {Rule::kBareAllow, "BL030", "bare-allow",
      "every suppression must say why the hazard is sanctioned"},
 }};
@@ -573,6 +578,135 @@ std::vector<LoopGrowth> check_unbounded_queues(
   return growths;
 }
 
+// ---- BL025 fixed-point -----------------------------------------------------
+//
+// The closed-loop coupler's lesson institutionalized: a convergence-driven
+// while loop (`while (!converged)`, `while (oscillating)`) can spin forever
+// on a period-2 cycle — reaching the fixed point is a hope, not a bound.
+// Same lexer-grade shaping as BL022: only `while` loops are examined, and
+// the cheap direction is trusting the loop. A loop fires only when its
+// condition carries convergence vocabulary AND neither the condition nor
+// the (windowed) body shows bounding evidence: an epsilon/cap comparison
+// ('<'/'>') in the condition, an iteration-counter identifier, or a loop
+// escape (break/return/throw/goto) in the body.
+
+constexpr std::string_view kConvergenceMarkers[] = {
+    "converg", "residual", "oscillat", "fixed_point", "fixpoint", "settle",
+};
+
+constexpr std::string_view kIterationMarkers[] = {
+    "iter", "round", "attempt", "budget",
+};
+
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool has_any_marker(std::string_view token,
+                    std::span<const std::string_view> markers) {
+  const std::string low = lowered(token);
+  for (const std::string_view m : markers)
+    if (low.find(m) != std::string::npos) return true;
+  return false;
+}
+
+/// Scans the `while` loop whose keyword ends at `lines[n].code[pos]`;
+/// appends its 0-based line to `out` when it is an unbounded convergence
+/// loop. Windowing mirrors scan_while_loop.
+void scan_convergence_loop(const std::vector<LineInfo>& lines, std::size_t n,
+                           std::size_t pos, std::vector<std::size_t>& out) {
+  constexpr std::size_t kConditionWindow = 6;
+  constexpr std::size_t kBodyWindow = 96;
+
+  std::string cond;
+  int depth = 0;
+  bool in_cond = false;
+  std::size_t body_line = n;
+  std::size_t body_col = 0;
+  bool found_close = false;
+  for (std::size_t m = n;
+       m < lines.size() && m < n + kConditionWindow && !found_close; ++m) {
+    const std::string& code = lines[m].code;
+    for (std::size_t i = m == n ? pos : 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (!in_cond) {
+        if (c == '(') {
+          in_cond = true;
+          depth = 1;
+        }
+        continue;
+      }
+      if (c == '(') ++depth;
+      if (c == ')' && --depth == 0) {
+        body_line = m;
+        body_col = i + 1;
+        found_close = true;
+        break;
+      }
+      cond.push_back(c);
+    }
+  }
+  if (!found_close) return;
+
+  bool convergence = false;
+  bool counter_in_cond = false;
+  for_each_identifier(cond, [&](std::string_view tok, std::size_t) {
+    convergence = convergence || has_any_marker(tok, kConvergenceMarkers);
+    counter_in_cond = counter_in_cond ||
+                      has_any_marker(tok, kIterationMarkers);
+  });
+  if (!convergence) return;
+  // An epsilon exit or a cap comparison right in the condition, or an
+  // iteration counter driving it alongside the convergence flag.
+  if (cond.find('<') != std::string::npos ||
+      cond.find('>') != std::string::npos || counter_in_cond)
+    return;
+
+  bool bounded = false;
+  int braces = 0;
+  bool braced = false;
+  bool done = false;
+  for (std::size_t m = body_line;
+       m < lines.size() && m < body_line + kBodyWindow && !done; ++m) {
+    const std::string& code = lines[m].code;
+    const std::size_t start = m == body_line ? body_col : 0;
+    const std::string_view body(code.data() + start, code.size() - start);
+    for_each_identifier(body, [&](std::string_view tok, std::size_t) {
+      bounded = bounded || tok == "break" || tok == "return" ||
+                tok == "throw" || tok == "goto" ||
+                has_any_marker(tok, kIterationMarkers);
+    });
+    for (std::size_t i = start; i < code.size(); ++i) {
+      if (code[i] == '{') {
+        ++braces;
+        braced = true;
+      } else if (code[i] == '}') {
+        if (braced && --braces == 0) done = true;
+      } else if (code[i] == ';' && !braced) {
+        done = true;  // single-statement body
+      }
+    }
+  }
+  if (!bounded) out.push_back(n);
+}
+
+/// BL025 pass over the whole translation unit.
+std::vector<std::size_t> check_fixed_point(
+    const std::vector<LineInfo>& lines) {
+  std::vector<std::size_t> loops;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    for_each_identifier(lines[n].code, [&](std::string_view tok,
+                                           std::size_t pos) {
+      if (tok == "while")
+        scan_convergence_loop(lines, n, pos + tok.size(), loops);
+    });
+  }
+  return loops;
+}
+
 // ---- BL023 solve allocation ------------------------------------------------
 //
 // The arena solver's contract is an allocation-free steady state: every
@@ -705,7 +839,7 @@ void check_todo(std::string_view comment, std::vector<std::string>& hits) {
 
 // ---- public API ------------------------------------------------------------
 
-const std::array<RuleInfo, 12>& rule_table() { return kRules; }
+const std::array<RuleInfo, 13>& rule_table() { return kRules; }
 
 const RuleInfo& info(Rule rule) {
   for (const RuleInfo& r : kRules)
@@ -855,6 +989,17 @@ std::vector<Finding> scan_source(std::string_view path,
                "bound — cap it, drain it, or check capacity before pushing "
                "(the ingest plane's BoundedQueue shape), or annotate "
                "allow(unbounded-queue)"});
+  }
+
+  for (const std::size_t n : check_fixed_point(lines)) {
+    if (!suppress.allowed[n].count(Rule::kFixedPoint))
+      findings.push_back(
+          {std::string(path), n + 1, Rule::kFixedPoint,
+           "convergence-driven while loop with no visible iteration cap or "
+           "epsilon exit — the loop can cycle forever on a period-2 orbit; "
+           "cap the iterations (the market coupler's max_iters shape), "
+           "compare against a tolerance in the condition, or annotate "
+           "allow(fixed-point)"});
   }
 
   if (lp_solver_tu) {

@@ -39,6 +39,7 @@ enum class Rule {
   kUnboundedQueue, ///< BL022: container growth in a loop with no bound
   kSolveAlloc,     ///< BL023: heap allocation in the lp solver's loops
   kParallelReduce, ///< BL024: unordered parallel reduction (mutex/atomic acc)
+  kFixedPoint,     ///< BL025: convergence while-loop with no visible bound
   kBareAllow,      ///< BL030: allow annotation without a rationale
 };
 
@@ -50,7 +51,7 @@ struct RuleInfo {
 };
 
 /// All rules, in report order.
-const std::array<RuleInfo, 12>& rule_table();
+const std::array<RuleInfo, 13>& rule_table();
 
 /// Info for a rule; never fails (the enum is the index).
 const RuleInfo& info(Rule rule);
