@@ -91,6 +91,7 @@ ConfigResult run_config(double gain, core::DampingMode damping) {
   config.market_coupler.loop.feedback_gain = gain;
   config.market_coupler.damping = damping;
 
+  // billcap-lint: allow(wall-clock): bench harness measures real solver latency, not simulated time
   const auto start = std::chrono::steady_clock::now();
   const core::MonthlyResult result =
       core::Simulator(config).run(core::Strategy::kCostCapping);
@@ -113,6 +114,7 @@ ConfigResult run_config(double gain, core::DampingMode damping) {
   r.total_cost = result.total_cost;
   r.digest = month_digest(result);
   r.seconds = std::chrono::duration<double>(
+                  // billcap-lint: allow(wall-clock): bench harness measures real solver latency, not simulated time
                   std::chrono::steady_clock::now() - start)
                   .count();
   return r;
@@ -237,6 +239,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string path = "BENCH_market.json";
+  // billcap-lint: allow(raw-write): bench artifact, regenerated every run; no resume path reads it
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "market_loop: cannot write %s\n", path.c_str());

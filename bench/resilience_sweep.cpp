@@ -39,6 +39,7 @@
 //     loop. Both arms bill at the realized coupled LMPs, so the delta is
 //     purely what seeing the shocked prices at planning time is worth.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 
@@ -246,7 +247,7 @@ int main() {
               .run_resumable(core::Strategy::kCostCapping, ck_path,
                              /*resume=*/true, {}, controls);
 #if defined(__unix__) || defined(__APPLE__)
-      if (outcome.crashed) return 9;  // SIGKILL'd, straight from waitpid
+      if (outcome.crashed) return SIGKILL;  // a wait status, not an exit code
       return outcome.stopped ? core::kExitStopped << 8 : 0;
 #else
       if (outcome.crashed) return core::kExitRuntimeError;

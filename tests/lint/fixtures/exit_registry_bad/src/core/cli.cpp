@@ -1,0 +1,10 @@
+// BL042 fixture: two integer-literal exits. return 7 is unregistered (the
+// supervisor cannot interpret it); exit(2) has a registered name it should
+// be using.
+#include "core/exit_codes.hpp"
+
+int main() {
+  const bool broken = false;
+  if (broken) std::exit(2);
+  return 7;
+}

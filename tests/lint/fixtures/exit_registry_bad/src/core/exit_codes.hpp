@@ -1,0 +1,13 @@
+// BL042 fixture registry: the mini exit-code protocol this tree's CLI must
+// speak through.
+#pragma once
+
+namespace billcap::core {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitFailure = 1,
+  kExitConfigError = 2,
+};
+
+}  // namespace billcap::core

@@ -1,0 +1,9 @@
+// BL042 clean fixture: every exit path speaks the registry; 0 and 1 are
+// the universal POSIX pair and stay legal as bare returns.
+#include "core/exit_codes.hpp"
+
+int main() {
+  const bool broken = false;
+  if (broken) return billcap::core::kExitConfigError;
+  return 0;
+}

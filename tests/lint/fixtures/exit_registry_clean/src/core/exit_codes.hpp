@@ -1,0 +1,12 @@
+// BL042 clean fixture registry.
+#pragma once
+
+namespace billcap::core {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitFailure = 1,
+  kExitConfigError = 2,
+};
+
+}  // namespace billcap::core

@@ -1,0 +1,11 @@
+// BL042 suppressed fixture registry.
+#pragma once
+
+namespace billcap::core {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitFailure = 1,
+};
+
+}  // namespace billcap::core

@@ -1,0 +1,11 @@
+// BL042 suppressed fixture: a helper (not an exit surface for the
+// per-file rule) whose literal exit is sanctioned with a rationale.
+
+namespace billcap::core {
+
+void die_hard() {
+  // billcap-lint: allow(exit-code-registry): wait-status convention — 77 is the harness skip code, not an ExitCode
+  std::exit(77);
+}
+
+}  // namespace billcap::core

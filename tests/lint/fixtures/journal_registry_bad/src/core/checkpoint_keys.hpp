@@ -1,0 +1,12 @@
+// BL041 fixture registry. kGamma is declared but referenced by no scanned
+// source — exactly what a key looks like after its writer was deleted.
+#pragma once
+
+#include <string_view>
+
+namespace billcap::core::keys {
+
+constexpr std::string_view kAlpha = "alpha";
+constexpr std::string_view kGamma = "gamma";
+
+}  // namespace billcap::core::keys

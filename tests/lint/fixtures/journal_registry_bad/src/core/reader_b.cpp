@@ -1,0 +1,12 @@
+// BL041 fixture: the bare reader. reader_a has()-guards kAlpha, so a
+// checkpoint written before kAlpha existed resumes cleanly there and
+// throws here.
+#include "core/checkpoint_keys.hpp"
+
+namespace billcap::core {
+
+double load_bare(util::Journal& j) {
+  return j.get_double_bits(keys::kAlpha);
+}
+
+}  // namespace billcap::core

@@ -1,0 +1,11 @@
+// BL041 fixture: the absence-tolerant reader. Guarding kAlpha with has()
+// here is what makes the bare read in core/reader_b.cpp inconsistent.
+#include "core/checkpoint_keys.hpp"
+
+namespace billcap::serve {
+
+double load(util::Journal& j) {
+  return j.has(keys::kAlpha) ? j.get_double_bits(keys::kAlpha) : 0.0;
+}
+
+}  // namespace billcap::serve

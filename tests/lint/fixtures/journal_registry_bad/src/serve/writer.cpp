@@ -1,0 +1,14 @@
+// BL041 fixture: "beta" is written to the journal but declared nowhere in
+// the registry — the state it persists silently vanishes for every reader
+// that spells the key through the registry. This is also what the tree
+// looks like the day after someone deletes a registered key that a call
+// site still spells as a literal.
+#include "core/checkpoint_keys.hpp"
+
+namespace billcap::serve {
+
+void persist(util::Journal& j, double bill) {
+  j.set_double_bits("beta", bill);
+}
+
+}  // namespace billcap::serve

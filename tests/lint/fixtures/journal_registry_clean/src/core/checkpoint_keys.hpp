@@ -1,0 +1,10 @@
+// BL041 clean fixture registry: one key, declared once, referenced below.
+#pragma once
+
+#include <string_view>
+
+namespace billcap::core::keys {
+
+constexpr std::string_view kAlpha = "alpha";
+
+}  // namespace billcap::core::keys

@@ -1,0 +1,15 @@
+// BL041 clean fixture: every key is spelled through the registry, and the
+// one read is has()-guarded the same way everywhere.
+#include "core/checkpoint_keys.hpp"
+
+namespace billcap::serve {
+
+void persist(util::Journal& j, double bill) {
+  j.set_double_bits(keys::kAlpha, bill);
+}
+
+double load(util::Journal& j) {
+  return j.has(keys::kAlpha) ? j.get_double_bits(keys::kAlpha) : 0.0;
+}
+
+}  // namespace billcap::serve

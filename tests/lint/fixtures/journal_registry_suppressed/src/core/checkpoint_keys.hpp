@@ -1,0 +1,13 @@
+// BL041 suppressed fixture registry: kOld is intentionally kept for one
+// release so downgraded controllers can still read it.
+#pragma once
+
+#include <string_view>
+
+namespace billcap::core::keys {
+
+constexpr std::string_view kAlpha = "alpha";
+// billcap-lint: allow(journal-key-registry): kOld is read by the previous release until the rollback window closes
+constexpr std::string_view kOld = "old";
+
+}  // namespace billcap::core::keys

@@ -1,0 +1,13 @@
+// BL041 suppressed fixture: a deliberate scratch key, sanctioned with a
+// rationale.
+#include "core/checkpoint_keys.hpp"
+
+namespace billcap::serve {
+
+void persist(util::Journal& j, double bill) {
+  j.set_double_bits(keys::kAlpha, bill);
+  // billcap-lint: allow(journal-key-registry): debug scratch slot, wiped by the next checkpoint rotation
+  j.set_double_bits("scratch", bill);
+}
+
+}  // namespace billcap::serve

@@ -1,0 +1,9 @@
+// BL040 fixture: core reaching *up* into serve inverts the layer DAG —
+// the planning layer must not know about the serving surface built on it.
+#include "serve/serve_loop.hpp"
+
+namespace billcap::core {
+
+double plan_with_serve_feedback() { return serve::loop_pressure(); }
+
+}  // namespace billcap::core

@@ -1,0 +1,9 @@
+// BL040 clean fixture: market may depend on lp and util, nothing higher.
+#include "lp/solver.hpp"
+#include "util/math.hpp"
+
+namespace billcap::market {
+
+double clearing_bid() { return 1.0; }
+
+}  // namespace billcap::market

@@ -1,0 +1,10 @@
+// BL040 clean fixture: serve depending downward on core is the sanctioned
+// direction.
+#include "core/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace billcap::serve {
+
+double loop_pressure() { return 0.0; }
+
+}  // namespace billcap::serve

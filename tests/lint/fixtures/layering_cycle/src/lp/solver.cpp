@@ -1,0 +1,9 @@
+// BL040 cycle fixture, half 2: lp depending on util is itself legal; the
+// violation is the cycle this closes with util/retry.cpp.
+#include "util/retry.hpp"
+
+namespace billcap::lp {
+
+double solve() { return 0.0; }
+
+}  // namespace billcap::lp

@@ -1,0 +1,10 @@
+// BL040 cycle fixture, half 1: util reaching up into lp. Together with
+// lp/solver.cpp including util back, the observed layer graph has the
+// cycle util -> lp -> util.
+#include "lp/solver.hpp"
+
+namespace billcap::util {
+
+int retry_budget() { return 3; }
+
+}  // namespace billcap::util

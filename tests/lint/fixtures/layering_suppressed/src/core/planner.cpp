@@ -1,0 +1,10 @@
+// BL040 suppressed fixture: the inverted edge is sanctioned with a
+// rationale, the way a deliberate transition period would be.
+// billcap-lint: allow(layering): transitional — serve's pressure probe moves into core next PR
+#include "serve/serve_loop.hpp"
+
+namespace billcap::core {
+
+double plan_with_serve_feedback() { return serve::loop_pressure(); }
+
+}  // namespace billcap::core

@@ -1,0 +1,14 @@
+// BL043 fixture: three ambient-entropy shapes — the device itself, an
+// engine seeded from it, and the process-global C PRNG.
+#include <random>
+
+namespace billcap::workload {
+
+int sample() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  const int jitter = rand() % 3;
+  return static_cast<int>(gen() % 7) + jitter;
+}
+
+}  // namespace billcap::workload

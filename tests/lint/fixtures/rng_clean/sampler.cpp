@@ -1,0 +1,12 @@
+// BL043 clean fixture: the engine seed comes from config, so a rerun with
+// the same config reproduces the month.
+#include <random>
+
+namespace billcap::workload {
+
+int sample(unsigned config_seed) {
+  std::mt19937 gen(config_seed);
+  return static_cast<int>(gen() % 7);
+}
+
+}  // namespace billcap::workload

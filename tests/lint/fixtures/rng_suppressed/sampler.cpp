@@ -1,0 +1,12 @@
+// BL043 suppressed fixture: ambient seeding sanctioned with a rationale.
+#include <random>
+
+namespace billcap::workload {
+
+int warmup_jitter(unsigned entropy) {
+  // billcap-lint: allow(unseeded-rng): warmup-only jitter, the value never reaches serialized state
+  std::mt19937 gen(entropy);
+  return static_cast<int>(gen() % 7);
+}
+
+}  // namespace billcap::workload

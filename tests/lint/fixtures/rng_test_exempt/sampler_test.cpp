@@ -1,0 +1,12 @@
+// BL043 exemption fixture: *_test.* files may use ad-hoc entropy (shuffle
+// orders, fuzz seeds) without an annotation.
+#include <random>
+
+namespace billcap::workload {
+
+int shuffled(unsigned entropy) {
+  std::mt19937 gen(entropy);
+  return static_cast<int>(gen() % 7);
+}
+
+}  // namespace billcap::workload

@@ -1,14 +1,20 @@
-// Golden-fixture tests for billcap-lint (tools/lint). Each fixture under
-// tests/lint/fixtures/ is a minimal known-bad snippet that must trigger
-// exactly its intended rule; the annotated and idiomatic fixtures must
-// scan clean; and the real src/ + tools/ trees must scan clean so the
+// Golden-fixture tests for billcap-audit (tools/lint). Each flat fixture
+// under tests/lint/fixtures/ is a minimal known-bad snippet that must
+// trigger exactly its intended per-file rule; each fixture *tree*
+// (<case>/src/<layer>/...) is a miniature project that must trigger
+// exactly its intended cross-file rule; the annotated and idiomatic
+// fixtures must scan clean; and the real repo must audit clean so the
 // static-analysis stage of tools/ci.sh stays green by construction.
 #include "lint.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
+
+#include "audit.hpp"
+#include "tokens.hpp"
 
 namespace billcap::lint {
 namespace {
@@ -127,6 +133,172 @@ TEST(LintScanner, RuleTableIsConsistent) {
     EXPECT_NE(std::string(r.rationale), "");
   }
   EXPECT_EQ(find_rule("no-such-rule"), nullptr);
+}
+
+AuditResult audit_tree(const std::string& name) {
+  return audit_paths({fixture_path(name)});
+}
+
+TEST(AuditFixtures, EachKnownBadTreeTriggersExactlyItsRule) {
+  const FixtureCase cases[] = {
+      {"layering_bad", Rule::kLayering},
+      {"layering_cycle", Rule::kLayering},
+      {"journal_registry_bad", Rule::kJournalRegistry},
+      {"exit_registry_bad", Rule::kExitRegistry},
+      {"rng_bad", Rule::kUnseededRng},
+  };
+  for (const FixtureCase& c : cases)
+    expect_only(audit_tree(c.file).findings, c.rule, c.file);
+}
+
+TEST(AuditFixtures, CleanAndSuppressedTreesAuditClean) {
+  for (const char* tree :
+       {"layering_clean", "layering_suppressed", "journal_registry_clean",
+        "journal_registry_suppressed", "exit_registry_clean",
+        "exit_registry_suppressed", "rng_clean", "rng_suppressed",
+        "rng_test_exempt"}) {
+    for (const Finding& f : audit_tree(tree).findings)
+      ADD_FAILURE() << tree << ": " << format_finding(f);
+  }
+}
+
+TEST(AuditFixtures, InvertedServeIncludeNamesTheEdge) {
+  // The acceptance shape for BL040: a core file including serve/ fails,
+  // and the finding names the offending edge so the reviewer sees the
+  // direction without opening the file.
+  const AuditResult result = audit_tree("layering_bad");
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& f = result.findings[0];
+  EXPECT_EQ(f.rule, Rule::kLayering);
+  EXPECT_EQ(f.edge, "core -> serve");
+  EXPECT_NE(f.message.find("core -> serve"), std::string::npos);
+  EXPECT_NE(f.file.find("planner.cpp"), std::string::npos);
+}
+
+TEST(AuditFixtures, LayerCycleIsReportedAsACycle) {
+  const AuditResult result = audit_tree("layering_cycle");
+  bool cycle_reported = false;
+  for (const Finding& f : result.findings)
+    cycle_reported = cycle_reported ||
+                     f.message.find("include cycle") != std::string::npos;
+  EXPECT_TRUE(cycle_reported);
+}
+
+TEST(AuditFixtures, MissingKeyDeadKeyAndGuardDriftAllSurface) {
+  // The acceptance shape for BL041: a key used but absent from the
+  // registry (what deleting a registered key leaves behind), a key
+  // registered but never used, and a has()-guard applied in one reader
+  // but not another.
+  const AuditResult result = audit_tree("journal_registry_bad");
+  ASSERT_EQ(result.findings.size(), 3u);
+  bool missing = false, dead = false, drift = false;
+  for (const Finding& f : result.findings) {
+    missing = missing || f.message.find("\"beta\" is not declared") !=
+                             std::string::npos;
+    dead = dead ||
+           f.message.find("kGamma") != std::string::npos;
+    drift = drift ||
+            f.message.find("has()-guarded elsewhere") != std::string::npos;
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(dead);
+  EXPECT_TRUE(drift);
+}
+
+TEST(AuditFixtures, ExitLiteralFindingsNameTheRegistry) {
+  const AuditResult result = audit_tree("exit_registry_bad");
+  ASSERT_EQ(result.findings.size(), 2u);
+  bool named = false, unregistered = false;
+  for (const Finding& f : result.findings) {
+    named = named || f.message.find("core::ExitCode::kExitConfigError") !=
+                         std::string::npos;
+    unregistered =
+        unregistered ||
+        f.message.find("7 is not a registered") != std::string::npos;
+  }
+  EXPECT_TRUE(named);
+  EXPECT_TRUE(unregistered);
+}
+
+TEST(Tokenizer, CodeInStringLiteralsIsInertForLoopRules) {
+  // The token stream separates channels, so a quoted "while (true)" body
+  // must never trip BL022/BL025 — the regression class the per-line
+  // scanner had.
+  const char* real =
+      "#include <deque>\n"
+      "void drain(std::deque<int>& q) {\n"
+      "  while (true) {\n"
+      "    q.push_back(1);\n"
+      "  }\n"
+      "}\n";
+  expect_only(scan_source("buf.cpp", real), Rule::kUnboundedQueue, "real");
+
+  const char* quoted =
+      "#include <string>\n"
+      "const char* doc = \"while (true) { q.push_back(1); }\";\n"
+      "const char* raw = R\"(while (!converged) { q.push_back(1); })\";\n"
+      "// while (true) { q.push_back(1); } in a comment is prose\n";
+  EXPECT_TRUE(scan_source("buf.cpp", quoted).empty());
+}
+
+TEST(Tokenizer, CommentedOutIncludesAreNotEdges) {
+  const SourceFile sf = tokenize(
+      "// #include \"serve/serve_loop.hpp\"\n"
+      "/* #include \"serve/old.hpp\" */\n"
+      "#include \"core/simulator.hpp\"\n");
+  ASSERT_EQ(sf.includes.size(), 1u);
+  EXPECT_EQ(sf.includes[0].path, "core/simulator.hpp");
+  EXPECT_FALSE(sf.includes[0].angled);
+}
+
+TEST(Tokenizer, LexerHandlesSeparatorsScopesAndRawStrings) {
+  const SourceFile sf = tokenize(
+      "int n = 1'000'000;\n"
+      "auto v = std::chrono::seconds(1);\n"
+      "const char* s = R\"x(not ::code here)x\";\n");
+  bool number_whole = false, scope_fused = false, raw_captured = false;
+  for (const Token& t : sf.tokens) {
+    number_whole = number_whole ||
+                   (t.kind == TokKind::kNumber && t.text == "1'000'000");
+    scope_fused =
+        scope_fused || (t.kind == TokKind::kPunct && t.text == "::");
+    raw_captured = raw_captured || (t.kind == TokKind::kString &&
+                                    t.text == "not ::code here");
+  }
+  EXPECT_TRUE(number_whole);
+  EXPECT_TRUE(scope_fused);
+  EXPECT_TRUE(raw_captured);
+}
+
+TEST(AuditReport, BaselineRoundTripGrandfathersEveryFinding) {
+  const AuditResult result = audit_tree("rng_bad");
+  ASSERT_FALSE(result.findings.empty());
+  const std::set<std::string> baseline =
+      parse_baseline(serialize_baseline(result));
+  EXPECT_EQ(baseline.size(), result.findings.size());
+  for (const Finding& f : result.findings)
+    EXPECT_EQ(baseline.count(baseline_key(f)), 1u) << baseline_key(f);
+  // And the JSON report marks them grandfathered.
+  const std::string json = to_json(result, baseline);
+  EXPECT_EQ(json.find("\"grandfathered\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"grandfathered\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"BL043\""), std::string::npos);
+}
+
+TEST(AuditTree, RepoAuditsCleanUnderTwoSeconds) {
+  // The whole-project audit is the ci.sh stage-0 gate; it must stay clean
+  // (every hazard fixed or explicitly sanctioned) and fast enough to run
+  // on every commit.
+  const auto start = std::chrono::steady_clock::now();
+  const AuditResult result = audit_paths(
+      {BILLCAP_REPO_ROOT "/src", BILLCAP_REPO_ROOT "/tools",
+       BILLCAP_REPO_ROOT "/bench", BILLCAP_REPO_ROOT "/examples"});
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  for (const Finding& f : result.findings) ADD_FAILURE() << format_finding(f);
+  EXPECT_GT(result.files_scanned, 100u);
+  EXPECT_LT(seconds, 2.0);
 }
 
 TEST(LintTree, RealSourcesScanCleanWithExplicitSuppressionsOnly) {

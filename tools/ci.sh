@@ -1,9 +1,10 @@
 #!/bin/sh
-# Local CI gate: static analysis first (billcap-lint + clang-tidy — the
+# Local CI gate: static analysis first (billcap-audit + clang-tidy — the
 # cheapest stage fails fastest), then the tier-1 suite, then the
 # robustness suite again under AddressSanitizer + UBSan (fault paths,
 # crash/resume and the journal I/O are exactly the code most likely to
-# hide lifetime or conversion bugs that only a sanitizer sees).
+# hide lifetime or conversion bugs that only a sanitizer sees), then the
+# race-labeled concurrency suites under ThreadSanitizer.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -eu
@@ -12,12 +13,15 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== stage 0: static analysis (billcap-lint + clang-tidy) =="
+echo "== stage 0: static analysis (billcap-audit + clang-tidy) =="
 cmake -B "$ROOT/$PREFIX" -S "$ROOT" >/dev/null
-cmake --build "$ROOT/$PREFIX" -j "$JOBS" --target billcap-lint
+cmake --build "$ROOT/$PREFIX" -j "$JOBS" --target billcap-audit
 # --summary prints the per-rule table; a nonzero exit means unsuppressed
-# findings, and the gate stops before any test tier runs.
-"$ROOT/$PREFIX/tools/lint/billcap-lint" --summary "$ROOT/src" "$ROOT/tools"
+# findings, and the gate stops before any test tier runs. Paths are
+# relative (run from the repo root) so the archived JSON and any baseline
+# keys stay machine-independent.
+(cd "$ROOT" && "$ROOT/$PREFIX/tools/lint/billcap-audit" --summary \
+  --json "$ROOT/$PREFIX/audit.json" src tools bench examples)
 sh "$ROOT/tools/run_clang_tidy.sh" "$ROOT/$PREFIX"
 
 echo "== tier 1: full suite, default toolchain =="
@@ -63,6 +67,20 @@ cmake -B "$ROOT/$PREFIX-asan" -S "$ROOT" \
   -DBILLCAP_SANITIZE=address,undefined >/dev/null
 cmake --build "$ROOT/$PREFIX-asan" -j "$JOBS"
 ctest --test-dir "$ROOT/$PREFIX-asan" -L robustness --output-on-failure \
+  -j "$JOBS"
+
+echo "== tier 2b: race label under ThreadSanitizer =="
+# The genuinely concurrent suites (thread pool, fleet shard-invariance,
+# serve daemon) in a third build tree under TSan. ASan and TSan cannot
+# share a build; only the race-labeled targets are built so the stage
+# stays cheap. tools/tsan.supp must stay free of project frames — see the
+# header comment there.
+cmake -B "$ROOT/$PREFIX-tsan" -S "$ROOT" \
+  -DBILLCAP_SANITIZE=thread >/dev/null
+cmake --build "$ROOT/$PREFIX-tsan" -j "$JOBS" \
+  --target thread_pool_test fleet_test serve_test
+TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp" \
+  ctest --test-dir "$ROOT/$PREFIX-tsan" -L race --output-on-failure \
   -j "$JOBS"
 
 echo "== tier 3: serve-daemon chaos soak (<= 30 s) =="

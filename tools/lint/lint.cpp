@@ -4,7 +4,6 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <set>
 #include <span>
 #include <sstream>
 #include <stdexcept>
@@ -15,7 +14,7 @@ namespace {
 
 // ---- rule catalogue --------------------------------------------------------
 
-constexpr std::array<RuleInfo, 13> kRules = {{
+constexpr std::array<RuleInfo, kRuleCount> kRules = {{
     {Rule::kWallClock, "BL001", "wall-clock",
      "wall-clock time and ambient PRNGs make a resumed month diverge from "
      "an uninterrupted one"},
@@ -56,6 +55,22 @@ constexpr std::array<RuleInfo, 13> kRules = {{
      "bound); cap the iterations like the market coupler's max_iters"},
     {Rule::kBareAllow, "BL030", "bare-allow",
      "every suppression must say why the hazard is sanctioned"},
+    {Rule::kLayering, "BL040", "layering",
+     "the layer DAG (util -> {lp,queueing} -> {market,datacenter,workload} "
+     "-> core -> serve -> tools) is the architecture; an inverted include "
+     "couples a lower layer upward and rots into a cycle"},
+    {Rule::kJournalRegistry, "BL041", "journal-key-registry",
+     "every journal key written anywhere must be declared in "
+     "src/core/checkpoint_keys.hpp; an unregistered key silently drops "
+     "state on resume"},
+    {Rule::kExitRegistry, "BL042", "exit-code-registry",
+     "every process exit code must be a value of core::ExitCode "
+     "(src/core/exit_codes.hpp); an unregistered literal is a protocol "
+     "the watchdog cannot interpret"},
+    {Rule::kUnseededRng, "BL043", "unseeded-rng",
+     "an ambient-seeded RNG (std::random_device, rand(), time-seeded "
+     "engines) outside test code makes runs unreproducible; seed from "
+     "config through util::Rng"},
 }};
 
 bool is_word(char c) noexcept {
@@ -69,120 +84,6 @@ bool is_digit(char c) noexcept {
 std::size_t skip_spaces(std::string_view s, std::size_t pos) {
   while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
   return pos;
-}
-
-// ---- lexing ----------------------------------------------------------------
-
-/// One physical source line, split into the three channels rules care
-/// about. String-literal *contents* are moved to `strings` (delimiters stay
-/// in `code` so call shapes like `.set("` remain visible); comment text is
-/// moved to `comment`.
-struct LineInfo {
-  std::string code;
-  std::string strings;
-  std::string comment;
-};
-
-std::vector<LineInfo> lex(std::string_view text) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  std::vector<LineInfo> lines;
-  LineInfo current;
-  State state = State::kCode;
-  std::string raw_end;  // ")delim\"" terminator of an active raw string
-
-  auto end_line = [&] {
-    lines.push_back(std::move(current));
-    current = LineInfo{};
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (state == State::kLineComment || state == State::kString ||
-          state == State::kChar) {
-        state = State::kCode;  // line comments and sane literals end here
-      }
-      end_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode: {
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          const bool raw = !current.code.empty() &&
-                           current.code.back() == 'R' &&
-                           (current.code.size() < 2 ||
-                            !is_word(current.code[current.code.size() - 2]));
-          current.code.push_back('"');
-          if (!current.strings.empty()) current.strings.push_back(' ');
-          if (raw) {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < text.size() && text[j] != '(' && text[j] != '\n')
-              delim.push_back(text[j++]);
-            raw_end = ")" + delim + "\"";
-            i = j;  // consume up to and including '('
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'') {
-          current.code.push_back('\'');
-          state = State::kChar;
-        } else {
-          current.code.push_back(c);
-        }
-        break;
-      }
-      case State::kLineComment:
-        current.comment.push_back(c);
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          current.comment.push_back(c);
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < text.size()) {
-          current.strings.push_back(text[++i]);
-        } else if (c == '"') {
-          current.code.push_back('"');
-          state = State::kCode;
-        } else {
-          current.strings.push_back(c);
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < text.size()) {
-          ++i;
-        } else if (c == '\'') {
-          current.code.push_back('\'');
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (c == ')' && text.compare(i, raw_end.size(), raw_end) == 0) {
-          i += raw_end.size() - 1;
-          current.code.push_back('"');
-          state = State::kCode;
-        } else {
-          current.strings.push_back(c);
-        }
-        break;
-    }
-  }
-  end_line();
-  return lines;
 }
 
 /// Calls `fn(identifier, pos)` for every identifier token in `code`.
@@ -204,59 +105,6 @@ void for_each_identifier(std::string_view code, Fn&& fn) {
 bool followed_by_call(std::string_view code, std::size_t end_pos) {
   const std::size_t p = skip_spaces(code, end_pos);
   return p < code.size() && code[p] == '(';
-}
-
-// ---- suppressions ----------------------------------------------------------
-
-struct Suppressions {
-  /// line (0-based) -> rules allowed on that line.
-  std::vector<std::set<Rule>> allowed;
-  std::vector<Finding> bare_allow_findings;
-};
-
-Suppressions collect_suppressions(std::string_view path,
-                                  const std::vector<LineInfo>& lines) {
-  Suppressions out;
-  out.allowed.resize(lines.size() + 1);
-  constexpr std::string_view kMarker = "billcap-lint:";
-  for (std::size_t n = 0; n < lines.size(); ++n) {
-    const std::string& comment = lines[n].comment;
-    std::size_t at = comment.find(kMarker);
-    if (at == std::string_view::npos) continue;
-    std::size_t pos = comment.find("allow(", at);
-    if (pos == std::string_view::npos) {
-      out.bare_allow_findings.push_back(
-          {std::string(path), n + 1, Rule::kBareAllow,
-           "billcap-lint annotation without an allow(<rule>) clause"});
-      continue;
-    }
-    pos += std::string_view("allow(").size();
-    const std::size_t close = comment.find(')', pos);
-    if (close == std::string_view::npos) continue;
-    const std::string name = comment.substr(pos, close - pos);
-    const RuleInfo* rule = find_rule(name);
-    if (rule == nullptr) {
-      out.bare_allow_findings.push_back(
-          {std::string(path), n + 1, Rule::kBareAllow,
-           "allow(" + name + ") names no billcap-lint rule"});
-      continue;
-    }
-    // The annotation sanctions this line and the one directly below it, so
-    // a whole-line comment can precede the hazard.
-    out.allowed[n].insert(rule->rule);
-    if (n + 1 < out.allowed.size()) out.allowed[n + 1].insert(rule->rule);
-    // Rationale: a ':' after the close paren with real text behind it.
-    const std::size_t colon = skip_spaces(comment, close + 1);
-    const bool has_rationale =
-        colon < comment.size() && comment[colon] == ':' &&
-        skip_spaces(comment, colon + 1) < comment.size();
-    if (!has_rationale)
-      out.bare_allow_findings.push_back(
-          {std::string(path), n + 1, Rule::kBareAllow,
-           "allow(" + name + ") without a rationale — write 'allow(" + name +
-               "): <why this site is sanctioned>'"});
-  }
-  return out;
 }
 
 // ---- per-rule checks -------------------------------------------------------
@@ -312,16 +160,19 @@ void check_wall_clock(std::string_view code, std::vector<std::string>& hits) {
 
 void check_unordered(std::string_view code, std::vector<std::string>& hits) {
   for_each_identifier(code, [&](std::string_view tok, std::size_t) {
-    if (contains(kUnorderedTokens, tok))
-      hits.push_back("'" + std::string(tok) +
-                     "' — iteration order is unspecified and must not feed "
-                     "serialized output; use std::map/std::set or annotate "
-                     "allow(unordered-iter)");
+    if (contains(kUnorderedTokens, tok)) {
+      std::string msg = "'";
+      msg += tok;
+      msg +=
+          "' — iteration order is unspecified and must not feed "
+          "serialized output; use std::map/std::set or annotate "
+          "allow(unordered-iter)";
+      hits.push_back(std::move(msg));
+    }
   });
 }
 
-/// True when `spec` (the text between '%' and the conversion char,
-/// exclusive) carries an explicit precision.
+/// Flags printf-family float conversions lacking an explicit precision.
 void check_float_format(const LineInfo& line, std::vector<std::string>& hits) {
   bool has_printf = false;
   for_each_identifier(line.code, [&](std::string_view tok, std::size_t) {
@@ -419,7 +270,7 @@ void check_raw_write(std::string_view code, std::vector<std::string>& hits) {
   });
 }
 
-/// Returns positions of `catch (...)` openings in this line's code.
+/// True when this line's code opens a `catch (...)`.
 bool has_catch_all(std::string_view code) {
   for (std::size_t pos = code.find("catch"); pos != std::string_view::npos;
        pos = code.find("catch", pos + 1)) {
@@ -436,7 +287,7 @@ bool has_catch_all(std::string_view code) {
 bool catch_block_handles(const std::vector<LineInfo>& lines,
                          std::size_t start) {
   // Look a few lines into the handler for a rethrow or a FailureReason
-  // tag; billcap-lint is a lexer, not a parser, so the window is bounded.
+  // tag; billcap-audit is a lexer, not a parser, so the window is bounded.
   constexpr std::size_t kWindow = 8;
   for (std::size_t n = start; n < lines.size() && n < start + kWindow; ++n) {
     bool handled = false;
@@ -448,13 +299,111 @@ bool catch_block_handles(const std::vector<LineInfo>& lines,
   return false;
 }
 
+void check_todo(std::string_view comment, std::vector<std::string>& hits) {
+  const bool todo = comment.find("TODO") != std::string_view::npos ||
+                    comment.find("FIXME") != std::string_view::npos;
+  if (!todo) return;
+  for (std::size_t i = 0; i + 1 < comment.size(); ++i)
+    if (comment[i] == '#' && is_digit(comment[i + 1])) return;
+  hits.push_back(
+      "TODO/FIXME without an issue reference — add '(#<issue>)' or do it "
+      "now");
+}
+
+// ---- token-stream loop extraction (BL022 / BL023 / BL025) ------------------
+//
+// The loop rules used to re-lex each `while`/`for` header and body with
+// ad-hoc per-line cursors; they now share one extractor over the token
+// stream. A loop is its keyword token, its condition token range (inside
+// the matched parens) and its body token range (a matched brace block, or
+// up to the terminating ';' for a single-statement body). Windows are
+// still hard-capped by *line distance* so a brace imbalance in unparsable
+// code cannot make the scan quadratic — the same bias as before: the
+// cheap direction is trusting the loop.
+
+constexpr std::size_t kHeaderWindowLines = 6;
+constexpr std::size_t kBodyWindowLines = 96;
+
+struct Loop {
+  std::size_t keyword = 0;     ///< token index of `while` / `for`
+  std::size_t cond_begin = 0;  ///< first token inside the parens
+  std::size_t cond_end = 0;    ///< one past the last condition token
+  std::size_t body_begin = 0;  ///< first body token
+  std::size_t body_end = 0;    ///< one past the last body token (capped)
+};
+
+/// Extracts the loop starting at token `kw`; false when the header never
+/// closes within the window.
+bool extract_loop(const std::vector<Token>& toks, std::size_t kw, Loop& out) {
+  const std::size_t open = find_punct(toks, kw + 1, "(");
+  if (open >= toks.size() ||
+      toks[open].line > toks[kw].line + kHeaderWindowLines)
+    return false;
+  const std::size_t close = match_forward(toks, open);
+  if (close >= toks.size() ||
+      toks[close].line > toks[kw].line + kHeaderWindowLines)
+    return false;
+  out.keyword = kw;
+  out.cond_begin = open + 1;
+  out.cond_end = close;
+  out.body_begin = close + 1;
+  if (out.body_begin >= toks.size()) return false;
+
+  const std::size_t limit_line = toks[close].line + kBodyWindowLines;
+  if (toks[out.body_begin].kind == TokKind::kPunct &&
+      toks[out.body_begin].text == "{") {
+    std::size_t end = match_forward(toks, out.body_begin);
+    if (end >= toks.size()) end = toks.size() - 1;
+    out.body_end = end + 1;
+  } else {
+    std::size_t end = find_punct(toks, out.body_begin, ";");
+    if (end >= toks.size()) end = toks.size() - 1;
+    out.body_end = end + 1;
+  }
+  // Hard cap by line distance.
+  while (out.body_end > out.body_begin &&
+         toks[out.body_end - 1].line > limit_line)
+    --out.body_end;
+  return true;
+}
+
+/// True when the token range contains a comparison operator: '<', '>' or
+/// a '!='/'==' pair (the lexer emits single-char puncts, so the pair is
+/// two adjacent tokens).
+bool range_has_comparison(const std::vector<Token>& toks, std::size_t begin,
+                          std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "<" || toks[i].text == ">") return true;
+    if (toks[i].text == "=" && i > begin && toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "!" || toks[i - 1].text == "="))
+      return true;
+  }
+  return false;
+}
+
+/// True when `toks[i]` is an identifier preceded by '.' or '->' (the lexer
+/// emits '-' '>' separately, so '>' suffices) and followed by '('.
+bool is_member_call(const std::vector<Token>& toks, std::size_t i) {
+  if (toks[i].kind != TokKind::kIdentifier) return false;
+  if (i == 0 || toks[i - 1].kind != TokKind::kPunct ||
+      (toks[i - 1].text != "." && toks[i - 1].text != ">"))
+    return false;
+  return i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+         toks[i + 1].text == "(";
+}
+
+bool is_call(const std::vector<Token>& toks, std::size_t i) {
+  return toks[i].kind == TokKind::kIdentifier && i + 1 < toks.size() &&
+         toks[i + 1].kind == TokKind::kPunct && toks[i + 1].text == "(";
+}
+
 // ---- BL022 unbounded queue -------------------------------------------------
 //
-// billcap-lint is a lexer, not a parser, so the rule is shaped for low
-// false-positive cost: only `while` loops are examined (the overload-risk
-// shape — `for` loops carry their bound in the header), a loop whose
-// condition shows any bounding evidence is trusted, and one capacity
-// check anywhere in the body sanctions every growth call in it.
+// Only `while` loops are examined (the overload-risk shape — `for` loops
+// carry their bound in the header), a loop whose condition shows any
+// bounding evidence is trusted, and one capacity check anywhere in the
+// body sanctions every growth call in it.
 
 constexpr std::string_view kGrowthCalls[] = {
     "push_back", "emplace_back", "push", "emplace", "push_front",
@@ -474,18 +423,17 @@ constexpr std::string_view kCapacityEvidence[] = {
 /// also cover stream extraction and shifts — over-trusting the condition
 /// is the cheap direction; the rule exists to catch `while (true)` and
 /// bare-flag spins that buffer without a cap.
-bool while_condition_bounded(std::string_view cond) {
-  if (cond.find('<') != std::string_view::npos ||
-      cond.find('>') != std::string_view::npos ||
-      cond.find("!=") != std::string_view::npos ||
-      cond.find("==") != std::string_view::npos)
-    return true;
-  bool bounded = false;
-  for_each_identifier(cond, [&](std::string_view tok, std::size_t) {
-    bounded = bounded || tok == "size" || tok == "empty" ||
-              tok == "capacity" || tok == "full" || tok == "getline";
-  });
-  return bounded;
+bool while_condition_bounded(const std::vector<Token>& toks,
+                             const Loop& loop) {
+  if (range_has_comparison(toks, loop.cond_begin, loop.cond_end)) return true;
+  for (std::size_t i = loop.cond_begin; i < loop.cond_end; ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    if (t == "size" || t == "empty" || t == "capacity" || t == "full" ||
+        t == "getline")
+      return true;
+  }
+  return false;
 }
 
 struct LoopGrowth {
@@ -493,87 +441,26 @@ struct LoopGrowth {
   std::string call;
 };
 
-/// Scans the `while` loop whose keyword sits at `lines[n].code[pos]`;
-/// reports growth calls when the loop shows no bound anywhere. Windows are
-/// hard-capped so a brace imbalance cannot make the scan quadratic.
-void scan_while_loop(const std::vector<LineInfo>& lines, std::size_t n,
-                     std::size_t pos, std::vector<LoopGrowth>& growths) {
-  constexpr std::size_t kConditionWindow = 6;
-  constexpr std::size_t kBodyWindow = 96;
-
-  // Collect the condition text across lines, tracking paren depth.
-  std::string cond;
-  int depth = 0;
-  bool in_cond = false;
-  std::size_t body_line = n;
-  std::size_t body_col = 0;
-  bool found_close = false;
-  for (std::size_t m = n; m < lines.size() && m < n + kConditionWindow && !found_close; ++m) {
-    const std::string& code = lines[m].code;
-    for (std::size_t i = m == n ? pos : 0; i < code.size(); ++i) {
-      const char c = code[i];
-      if (!in_cond) {
-        if (c == '(') {
-          in_cond = true;
-          depth = 1;
-        }
-        continue;
-      }
-      if (c == '(') ++depth;
-      if (c == ')' && --depth == 0) {
-        body_line = m;
-        body_col = i + 1;
-        found_close = true;
-        break;
-      }
-      cond.push_back(c);
-    }
-  }
-  if (!found_close || while_condition_bounded(cond)) return;
-
-  // Walk the body (braced or single-statement), recording growth calls
-  // and capacity evidence; the whole body is one sanction scope.
-  bool evidence = false;
-  std::vector<LoopGrowth> local;
-  int braces = 0;
-  bool braced = false;
-  bool done = false;
-  for (std::size_t m = body_line;
-       m < lines.size() && m < body_line + kBodyWindow && !done; ++m) {
-    const std::string& code = lines[m].code;
-    const std::size_t start = m == body_line ? body_col : 0;
-    const std::string_view body(code.data() + start, code.size() - start);
-    for_each_identifier(body, [&](std::string_view tok, std::size_t at) {
-      if (contains(kCapacityEvidence, tok)) evidence = true;
-      if (contains(kGrowthCalls, tok) && at > 0 &&
-          (body[at - 1] == '.' || body[at - 1] == '>') &&
-          followed_by_call(body, at + tok.size()))
-        local.push_back({m, std::string(tok)});
-    });
-    for (std::size_t i = start; i < code.size(); ++i) {
-      if (code[i] == '{') {
-        ++braces;
-        braced = true;
-      } else if (code[i] == '}') {
-        if (braced && --braces == 0) done = true;
-      } else if (code[i] == ';' && !braced) {
-        done = true;  // single-statement body
-      }
-    }
-  }
-  if (!evidence)
-    growths.insert(growths.end(), local.begin(), local.end());
-}
-
 /// BL022 pass over the whole translation unit.
-std::vector<LoopGrowth> check_unbounded_queues(
-    const std::vector<LineInfo>& lines) {
+std::vector<LoopGrowth> check_unbounded_queues(const SourceFile& sf) {
+  const std::vector<Token>& toks = sf.tokens;
   std::vector<LoopGrowth> growths;
-  for (std::size_t n = 0; n < lines.size(); ++n) {
-    for_each_identifier(lines[n].code, [&](std::string_view tok,
-                                           std::size_t pos) {
-      if (tok == "while") scan_while_loop(lines, n, pos + tok.size(), growths);
-    });
+  for (std::size_t n = 0; n < toks.size(); ++n) {
+    if (toks[n].kind != TokKind::kIdentifier || toks[n].text != "while")
+      continue;
+    Loop loop;
+    if (!extract_loop(toks, n, loop)) continue;
+    if (while_condition_bounded(toks, loop)) continue;
+    bool evidence = false;
+    std::vector<LoopGrowth> local;
+    for (std::size_t i = loop.body_begin; i < loop.body_end; ++i) {
+      if (toks[i].kind != TokKind::kIdentifier) continue;
+      if (contains(kCapacityEvidence, toks[i].text)) evidence = true;
+      if (contains(kGrowthCalls, toks[i].text) && is_member_call(toks, i))
+        local.push_back({toks[i].line, toks[i].text});
+    }
+    if (!evidence)
+      growths.insert(growths.end(), local.begin(), local.end());
   }
   return growths;
 }
@@ -583,12 +470,10 @@ std::vector<LoopGrowth> check_unbounded_queues(
 // The closed-loop coupler's lesson institutionalized: a convergence-driven
 // while loop (`while (!converged)`, `while (oscillating)`) can spin forever
 // on a period-2 cycle — reaching the fixed point is a hope, not a bound.
-// Same lexer-grade shaping as BL022: only `while` loops are examined, and
-// the cheap direction is trusting the loop. A loop fires only when its
-// condition carries convergence vocabulary AND neither the condition nor
-// the (windowed) body shows bounding evidence: an epsilon/cap comparison
-// ('<'/'>') in the condition, an iteration-counter identifier, or a loop
-// escape (break/return/throw/goto) in the body.
+// A loop fires only when its condition carries convergence vocabulary AND
+// neither the condition nor the (windowed) body shows bounding evidence:
+// an epsilon/cap comparison in the condition, an iteration-counter
+// identifier, or a loop escape (break/return/throw/goto) in the body.
 
 constexpr std::string_view kConvergenceMarkers[] = {
     "converg", "residual", "oscillat", "fixed_point", "fixpoint", "settle",
@@ -613,98 +498,41 @@ bool has_any_marker(std::string_view token,
   return false;
 }
 
-/// Scans the `while` loop whose keyword ends at `lines[n].code[pos]`;
-/// appends its 0-based line to `out` when it is an unbounded convergence
-/// loop. Windowing mirrors scan_while_loop.
-void scan_convergence_loop(const std::vector<LineInfo>& lines, std::size_t n,
-                           std::size_t pos, std::vector<std::size_t>& out) {
-  constexpr std::size_t kConditionWindow = 6;
-  constexpr std::size_t kBodyWindow = 96;
-
-  std::string cond;
-  int depth = 0;
-  bool in_cond = false;
-  std::size_t body_line = n;
-  std::size_t body_col = 0;
-  bool found_close = false;
-  for (std::size_t m = n;
-       m < lines.size() && m < n + kConditionWindow && !found_close; ++m) {
-    const std::string& code = lines[m].code;
-    for (std::size_t i = m == n ? pos : 0; i < code.size(); ++i) {
-      const char c = code[i];
-      if (!in_cond) {
-        if (c == '(') {
-          in_cond = true;
-          depth = 1;
-        }
-        continue;
-      }
-      if (c == '(') ++depth;
-      if (c == ')' && --depth == 0) {
-        body_line = m;
-        body_col = i + 1;
-        found_close = true;
-        break;
-      }
-      cond.push_back(c);
+/// BL025 pass over the whole translation unit; returns 0-based lines of
+/// unbounded convergence loops.
+std::vector<std::size_t> check_fixed_point(const SourceFile& sf) {
+  const std::vector<Token>& toks = sf.tokens;
+  std::vector<std::size_t> out;
+  for (std::size_t n = 0; n < toks.size(); ++n) {
+    if (toks[n].kind != TokKind::kIdentifier || toks[n].text != "while")
+      continue;
+    Loop loop;
+    if (!extract_loop(toks, n, loop)) continue;
+    bool convergence = false;
+    bool counter_in_cond = false;
+    for (std::size_t i = loop.cond_begin; i < loop.cond_end; ++i) {
+      if (toks[i].kind != TokKind::kIdentifier) continue;
+      convergence =
+          convergence || has_any_marker(toks[i].text, kConvergenceMarkers);
+      counter_in_cond =
+          counter_in_cond || has_any_marker(toks[i].text, kIterationMarkers);
     }
-  }
-  if (!found_close) return;
-
-  bool convergence = false;
-  bool counter_in_cond = false;
-  for_each_identifier(cond, [&](std::string_view tok, std::size_t) {
-    convergence = convergence || has_any_marker(tok, kConvergenceMarkers);
-    counter_in_cond = counter_in_cond ||
-                      has_any_marker(tok, kIterationMarkers);
-  });
-  if (!convergence) return;
-  // An epsilon exit or a cap comparison right in the condition, or an
-  // iteration counter driving it alongside the convergence flag.
-  if (cond.find('<') != std::string::npos ||
-      cond.find('>') != std::string::npos || counter_in_cond)
-    return;
-
-  bool bounded = false;
-  int braces = 0;
-  bool braced = false;
-  bool done = false;
-  for (std::size_t m = body_line;
-       m < lines.size() && m < body_line + kBodyWindow && !done; ++m) {
-    const std::string& code = lines[m].code;
-    const std::size_t start = m == body_line ? body_col : 0;
-    const std::string_view body(code.data() + start, code.size() - start);
-    for_each_identifier(body, [&](std::string_view tok, std::size_t) {
-      bounded = bounded || tok == "break" || tok == "return" ||
-                tok == "throw" || tok == "goto" ||
-                has_any_marker(tok, kIterationMarkers);
-    });
-    for (std::size_t i = start; i < code.size(); ++i) {
-      if (code[i] == '{') {
-        ++braces;
-        braced = true;
-      } else if (code[i] == '}') {
-        if (braced && --braces == 0) done = true;
-      } else if (code[i] == ';' && !braced) {
-        done = true;  // single-statement body
-      }
+    if (!convergence) continue;
+    // An epsilon exit or a cap comparison right in the condition, or an
+    // iteration counter driving it alongside the convergence flag.
+    if (range_has_comparison(toks, loop.cond_begin, loop.cond_end) ||
+        counter_in_cond)
+      continue;
+    bool bounded = false;
+    for (std::size_t i = loop.body_begin; i < loop.body_end && !bounded; ++i) {
+      if (toks[i].kind != TokKind::kIdentifier) continue;
+      const std::string& t = toks[i].text;
+      bounded = t == "break" || t == "return" || t == "throw" ||
+                t == "goto" || has_any_marker(t, kIterationMarkers);
     }
+    if (!bounded) out.push_back(toks[n].line);
   }
-  if (!bounded) out.push_back(n);
-}
-
-/// BL025 pass over the whole translation unit.
-std::vector<std::size_t> check_fixed_point(
-    const std::vector<LineInfo>& lines) {
-  std::vector<std::size_t> loops;
-  for (std::size_t n = 0; n < lines.size(); ++n) {
-    for_each_identifier(lines[n].code, [&](std::string_view tok,
-                                           std::size_t pos) {
-      if (tok == "while")
-        scan_convergence_loop(lines, n, pos + tok.size(), loops);
-    });
-  }
-  return loops;
+  return out;
 }
 
 // ---- BL023 solve allocation ------------------------------------------------
@@ -715,10 +543,10 @@ std::vector<std::size_t> check_fixed_point(
 // billcap lp namespace, any loop body (`while` or `for` — the simplex
 // pivots and the node stack drive both) that calls a raw allocator is
 // flagged, and container growth is flagged unless a reserve() sizing
-// pass appears on an earlier line of the file. Like BL022 this is a
-// lexer-grade rule: the reserve does not have to size the exact
-// container that grows — it is evidence the file has a sizing pass, and
-// the differential/property suites are what prove the arena correct.
+// pass appears on an earlier line of the file. The reserve does not have
+// to size the exact container that grows — it is evidence the file has a
+// sizing pass, and the differential/property suites are what prove the
+// arena correct.
 
 constexpr std::string_view kAllocCalls[] = {
     "make_unique", "make_shared", "malloc", "calloc", "realloc",
@@ -738,128 +566,33 @@ bool operator==(const SolveAlloc& a, const SolveAlloc& b) {
   return a.line == b.line && a.call == b.call;
 }
 
-/// Scans the loop whose `while`/`for` keyword ends at `lines[n].code[pos]`,
-/// recording allocator and growth calls in its body. Same windowing as
-/// scan_while_loop: brace-matched, hard-capped so a brace imbalance cannot
-/// make the scan quadratic.
-void scan_solve_loop(const std::vector<LineInfo>& lines, std::size_t n,
-                     std::size_t pos, std::vector<SolveAlloc>& out) {
-  constexpr std::size_t kHeaderWindow = 6;
-  constexpr std::size_t kBodyWindow = 96;
-
-  // Find the close paren of the loop header.
-  int depth = 0;
-  bool in_header = false;
-  std::size_t body_line = n;
-  std::size_t body_col = 0;
-  bool found_close = false;
-  for (std::size_t m = n; m < lines.size() && m < n + kHeaderWindow && !found_close; ++m) {
-    const std::string& code = lines[m].code;
-    for (std::size_t i = m == n ? pos : 0; i < code.size(); ++i) {
-      const char c = code[i];
-      if (!in_header) {
-        if (c == '(') {
-          in_header = true;
-          depth = 1;
-        }
-        continue;
-      }
-      if (c == '(') ++depth;
-      if (c == ')' && --depth == 0) {
-        body_line = m;
-        body_col = i + 1;
-        found_close = true;
-        break;
-      }
-    }
-  }
-  if (!found_close) return;
-
-  int braces = 0;
-  bool braced = false;
-  bool done = false;
-  for (std::size_t m = body_line;
-       m < lines.size() && m < body_line + kBodyWindow && !done; ++m) {
-    const std::string& code = lines[m].code;
-    const std::size_t start = m == body_line ? body_col : 0;
-    const std::string_view body(code.data() + start, code.size() - start);
-    for_each_identifier(body, [&](std::string_view tok, std::size_t at) {
-      if (tok == "new") {
-        out.push_back({m, "new", false});
-      } else if (contains(kAllocCalls, tok) &&
-                 followed_by_call(body, at + tok.size())) {
-        out.push_back({m, std::string(tok), false});
-      } else if (contains(kGrowthCalls, tok) && at > 0 &&
-                 (body[at - 1] == '.' || body[at - 1] == '>') &&
-                 followed_by_call(body, at + tok.size())) {
-        out.push_back({m, std::string(tok), true});
-      }
-    });
-    for (std::size_t i = start; i < code.size(); ++i) {
-      if (code[i] == '{') {
-        ++braces;
-        braced = true;
-      } else if (code[i] == '}') {
-        if (braced && --braces == 0) done = true;
-      } else if (code[i] == ';' && !braced) {
-        done = true;  // single-statement body
-      }
-    }
-  }
-}
-
 /// BL023 pass over the whole translation unit. Nested loops scan inner
 /// bodies once per enclosing loop, so findings are deduped by position.
-std::vector<SolveAlloc> check_solve_alloc(const std::vector<LineInfo>& lines) {
+std::vector<SolveAlloc> check_solve_alloc(const SourceFile& sf) {
+  const std::vector<Token>& toks = sf.tokens;
   std::vector<SolveAlloc> found;
-  for (std::size_t n = 0; n < lines.size(); ++n) {
-    for_each_identifier(lines[n].code, [&](std::string_view tok,
-                                           std::size_t pos) {
-      if (tok == "while" || tok == "for")
-        scan_solve_loop(lines, n, pos + tok.size(), found);
-    });
+  for (std::size_t n = 0; n < toks.size(); ++n) {
+    if (toks[n].kind != TokKind::kIdentifier ||
+        (toks[n].text != "while" && toks[n].text != "for"))
+      continue;
+    Loop loop;
+    if (!extract_loop(toks, n, loop)) continue;
+    for (std::size_t i = loop.body_begin; i < loop.body_end; ++i) {
+      if (toks[i].kind != TokKind::kIdentifier) continue;
+      if (toks[i].text == "new") {
+        found.push_back({toks[i].line, "new", false});
+      } else if (contains(kAllocCalls, toks[i].text) && is_call(toks, i)) {
+        found.push_back({toks[i].line, toks[i].text, false});
+      } else if (contains(kGrowthCalls, toks[i].text) &&
+                 is_member_call(toks, i)) {
+        found.push_back({toks[i].line, toks[i].text, true});
+      }
+    }
   }
   std::sort(found.begin(), found.end());
   found.erase(std::unique(found.begin(), found.end()), found.end());
   return found;
 }
-
-void check_todo(std::string_view comment, std::vector<std::string>& hits) {
-  const bool todo = comment.find("TODO") != std::string_view::npos ||
-                    comment.find("FIXME") != std::string_view::npos;
-  if (!todo) return;
-  for (std::size_t i = 0; i + 1 < comment.size(); ++i)
-    if (comment[i] == '#' && is_digit(comment[i + 1])) return;
-  hits.push_back(
-      "TODO/FIXME without an issue reference — add '(#<issue>)' or do it "
-      "now");
-}
-
-}  // namespace
-
-// ---- public API ------------------------------------------------------------
-
-const std::array<RuleInfo, 13>& rule_table() { return kRules; }
-
-const RuleInfo& info(Rule rule) {
-  for (const RuleInfo& r : kRules)
-    if (r.rule == rule) return r;
-  return kRules[0];  // unreachable: every enumerator is in the table
-}
-
-const RuleInfo* find_rule(std::string_view name) {
-  for (const RuleInfo& r : kRules)
-    if (name == r.name) return &r;
-  return nullptr;
-}
-
-std::string format_finding(const Finding& finding) {
-  const RuleInfo& r = info(finding.rule);
-  return finding.file + ":" + std::to_string(finding.line) + ": [" + r.id +
-         " " + r.name + "] " + finding.message;
-}
-
-namespace {
 
 // ---- BL024 parallel reduce -------------------------------------------------
 //
@@ -881,7 +614,7 @@ std::vector<ParallelReduce> check_parallel_reduce(
     const std::vector<LineInfo>& lines) {
   std::vector<ParallelReduce> out;
   // A lock taken a couple of lines above an accumulation still guards it;
-  // beyond that the scope has usually ended (billcap-lint is a lexer).
+  // beyond that the scope has usually ended (billcap-audit is a lexer).
   constexpr std::size_t kLockWindow = 3;
   for (std::size_t n = 0; n < lines.size(); ++n) {
     const std::string_view code = lines[n].code;
@@ -917,37 +650,102 @@ std::vector<ParallelReduce> check_parallel_reduce(
 
 }  // namespace
 
-std::vector<Finding> scan_source(std::string_view path,
-                                 std::string_view text) {
-  const std::vector<LineInfo> lines = lex(text);
-  Suppressions suppress = collect_suppressions(path, lines);
+// ---- public API ------------------------------------------------------------
+
+const std::array<RuleInfo, kRuleCount>& rule_table() { return kRules; }
+
+const RuleInfo& info(Rule rule) {
+  for (const RuleInfo& r : kRules)
+    if (r.rule == rule) return r;
+  return kRules[0];  // unreachable: every enumerator is in the table
+}
+
+const RuleInfo* find_rule(std::string_view name) {
+  for (const RuleInfo& r : kRules)
+    if (name == r.name) return &r;
+  return nullptr;
+}
+
+std::string format_finding(const Finding& finding) {
+  const RuleInfo& r = info(finding.rule);
+  return finding.file + ":" + std::to_string(finding.line) + ": [" + r.id +
+         " " + r.name + "] " + finding.message;
+}
+
+Suppressions collect_suppressions(std::string_view path,
+                                  const SourceFile& source) {
+  const std::vector<LineInfo>& lines = source.lines;
+  Suppressions out;
+  out.allowed.resize(lines.size() + 1);
+  constexpr std::string_view kMarker = "billcap-lint:";
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& comment = lines[n].comment;
+    std::size_t at = comment.find(kMarker);
+    if (at == std::string_view::npos) continue;
+    std::size_t pos = comment.find("allow(", at);
+    if (pos == std::string_view::npos) {
+      out.bare_allow_findings.push_back(
+          {std::string(path), n + 1, Rule::kBareAllow,
+           "billcap-lint annotation without an allow(<rule>) clause", {}});
+      continue;
+    }
+    pos += std::string_view("allow(").size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) continue;
+    const std::string name = comment.substr(pos, close - pos);
+    const RuleInfo* rule = find_rule(name);
+    if (rule == nullptr) {
+      out.bare_allow_findings.push_back(
+          {std::string(path), n + 1, Rule::kBareAllow,
+           "allow(" + name + ") names no billcap-lint rule", {}});
+      continue;
+    }
+    // The annotation sanctions this line and the one directly below it, so
+    // a whole-line comment can precede the hazard.
+    out.allowed[n].insert(rule->rule);
+    if (n + 1 < out.allowed.size()) out.allowed[n + 1].insert(rule->rule);
+    // Rationale: a ':' after the close paren with real text behind it.
+    const std::size_t colon = skip_spaces(comment, close + 1);
+    const bool has_rationale =
+        colon < comment.size() && comment[colon] == ':' &&
+        skip_spaces(comment, colon + 1) < comment.size();
+    if (!has_rationale)
+      out.bare_allow_findings.push_back(
+          {std::string(path), n + 1, Rule::kBareAllow,
+           "allow(" + name + ") without a rationale — write 'allow(" + name +
+               "): <why this site is sanctioned>'", {}});
+  }
+  return out;
+}
+
+std::vector<Finding> scan_tokens(std::string_view path,
+                                 const SourceFile& source) {
+  const std::vector<LineInfo>& lines = source.lines;
+  Suppressions suppress = collect_suppressions(path, source);
 
   // Applicability is content-based so fixtures behave like real sources:
   // the exit-code rule guards exit surfaces, the journal-key rule guards
-  // translation units that touch util::Journal directly.
+  // translation units that *include* util/journal.hpp. The gates read the
+  // lexed includes and token stream, never raw text, so a comment that
+  // mentions a header cannot gate a file into a rule.
   const bool exit_surface =
-      text.find("int main(") != std::string_view::npos ||
-      text.find("core/supervisor.hpp") != std::string_view::npos ||
-      text.find("core/exit_codes.hpp") != std::string_view::npos;
-  const bool journal_user =
-      text.find("util/journal.hpp") != std::string_view::npos;
-  // The literal is split so the scanner's own source does not gate itself
-  // into the solver rule.
+      source.has_code_sequence({"int", "main", "("}) ||
+      source.includes_path("core/supervisor.hpp") ||
+      source.includes_path("core/exit_codes.hpp");
+  const bool journal_user = source.includes_path("util/journal.hpp");
   const bool lp_solver_tu =
-      text.find("namespace billcap::" "lp") != std::string_view::npos;
-  // Same trick: only worker-pool translation units feed the parallel-
-  // reduction rule, and the scanner must not gate itself.
-  const bool parallel_tu =
-      text.find("util/thread_" "pool.hpp") != std::string_view::npos ||
-      text.find("Thread" "Pool") != std::string_view::npos ||
-      text.find("parallel_" "for") != std::string_view::npos;
+      source.has_code_sequence({"namespace", "billcap", "::", "lp"});
+  const bool parallel_tu = source.includes_path("util/thread_pool.hpp") ||
+                           source.has_identifier("ThreadPool") ||
+                           source.has_identifier("parallel_for");
 
   std::vector<Finding> findings;
   const auto emit = [&](std::size_t n, Rule rule,
                         std::vector<std::string>& hits) {
-    if (!suppress.allowed[n].count(rule))
+    if (!suppress.allows(n, rule))
       for (std::string& hit : hits)
-        findings.push_back({std::string(path), n + 1, rule, std::move(hit)});
+        findings.push_back(
+            {std::string(path), n + 1, rule, std::move(hit), {}});
     hits.clear();
   };
 
@@ -980,43 +778,41 @@ std::vector<Finding> scan_source(std::string_view path,
     emit(n, Rule::kTodoIssue, hits);
   }
 
-  for (const LoopGrowth& g : check_unbounded_queues(lines)) {
-    if (!suppress.allowed[g.line].count(Rule::kUnboundedQueue))
+  for (const LoopGrowth& g : check_unbounded_queues(source)) {
+    if (!suppress.allows(g.line, Rule::kUnboundedQueue))
       findings.push_back(
           {std::string(path), g.line + 1, Rule::kUnboundedQueue,
            "'" + g.call +
                "' grows a container inside a while loop with no visible "
                "bound — cap it, drain it, or check capacity before pushing "
                "(the ingest plane's BoundedQueue shape), or annotate "
-               "allow(unbounded-queue)"});
+               "allow(unbounded-queue)", {}});
   }
 
-  for (const std::size_t n : check_fixed_point(lines)) {
-    if (!suppress.allowed[n].count(Rule::kFixedPoint))
+  for (const std::size_t n : check_fixed_point(source)) {
+    if (!suppress.allows(n, Rule::kFixedPoint))
       findings.push_back(
           {std::string(path), n + 1, Rule::kFixedPoint,
            "convergence-driven while loop with no visible iteration cap or "
            "epsilon exit — the loop can cycle forever on a period-2 orbit; "
            "cap the iterations (the market coupler's max_iters shape), "
            "compare against a tolerance in the condition, or annotate "
-           "allow(fixed-point)"});
+           "allow(fixed-point)", {}});
   }
 
   if (lp_solver_tu) {
     // Growth is sanctioned by a reserve() sizing pass on an earlier line;
     // raw allocators in a loop body are flagged unconditionally.
     std::size_t first_reserve = lines.size();
-    for (std::size_t n = 0; n < lines.size() && first_reserve == lines.size();
-         ++n) {
-      for_each_identifier(lines[n].code, [&](std::string_view tok,
-                                             std::size_t pos) {
-        if (tok == "reserve" && followed_by_call(lines[n].code, pos + 7))
-          first_reserve = std::min(first_reserve, n);
-      });
+    for (std::size_t i = 0; i < source.tokens.size(); ++i) {
+      if (source.tokens[i].text == "reserve" && is_call(source.tokens, i)) {
+        first_reserve = source.tokens[i].line;
+        break;
+      }
     }
-    for (const SolveAlloc& a : check_solve_alloc(lines)) {
+    for (const SolveAlloc& a : check_solve_alloc(source)) {
       if (a.growth && first_reserve <= a.line) continue;
-      if (suppress.allowed[a.line].count(Rule::kSolveAlloc)) continue;
+      if (suppress.allows(a.line, Rule::kSolveAlloc)) continue;
       findings.push_back(
           {std::string(path), a.line + 1, Rule::kSolveAlloc,
            a.growth
@@ -1027,20 +823,20 @@ std::vector<Finding> scan_source(std::string_view path,
                : "'" + a.call +
                      "' allocates inside a solver loop — the solver's steady "
                      "state must not touch the heap; move the allocation to "
-                     "setup or annotate allow(solve-alloc)"});
+                     "setup or annotate allow(solve-alloc)", {}});
     }
   }
 
   if (parallel_tu) {
     for (const ParallelReduce& p : check_parallel_reduce(lines)) {
-      if (suppress.allowed[p.line].count(Rule::kParallelReduce)) continue;
+      if (suppress.allows(p.line, Rule::kParallelReduce)) continue;
       findings.push_back(
           {std::string(path), p.line + 1, Rule::kParallelReduce,
            p.what +
                " reduces in thread-scheduling order, which breaks bitwise "
                "determinism across thread counts — write each task's result "
                "to its own indexed slot and fold serially in index order, "
-               "or annotate allow(parallel-reduce)"});
+               "or annotate allow(parallel-reduce)", {}});
     }
   }
 
@@ -1054,12 +850,21 @@ std::vector<Finding> scan_source(std::string_view path,
   return findings;
 }
 
-std::vector<Finding> scan_file(const std::string& path) {
+std::vector<Finding> scan_source(std::string_view path,
+                                 std::string_view text) {
+  return scan_tokens(path, tokenize(text));
+}
+
+SourceFile load_source(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("billcap-lint: cannot open " + path);
+  if (!in) throw std::runtime_error("billcap-audit: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return scan_source(path, buffer.str());
+  return tokenize(buffer.str());
+}
+
+std::vector<Finding> scan_file(const std::string& path) {
+  return scan_tokens(path, load_source(path));
 }
 
 bool is_scannable(std::string_view path) {
@@ -1079,7 +884,7 @@ std::vector<std::string> collect_sources(const std::string& root) {
     return files;
   }
   if (!fs::is_directory(p))
-    throw std::runtime_error("billcap-lint: no such file or directory: " +
+    throw std::runtime_error("billcap-audit: no such file or directory: " +
                              root);
   for (const auto& entry : fs::recursive_directory_iterator(p))
     if (entry.is_regular_file() && is_scannable(entry.path().string()))

@@ -1,13 +1,17 @@
 #pragma once
 
-// billcap-lint — a fast, dependency-free static-analysis pass for the
+// billcap-audit — a fast, dependency-free static-analysis pass for the
 // bill-capping controller. It does not parse C++; it lexes each source
-// file just far enough to separate code, string-literal contents and
-// comments, then runs a fixed catalogue of determinism / protocol /
-// robustness rules over the result. The point is not generality — it is
-// that the invariant behind every bitwise-resume test (a resumed month is
-// byte-identical to an uninterrupted one) is enforced by a machine, not a
-// review habit.
+// file into a token stream and per-line channels (tokens.hpp) just far
+// enough to separate code, string-literal contents and comments, then runs
+// a fixed catalogue of determinism / protocol / robustness rules over the
+// result. The point is not generality — it is that the invariant behind
+// every bitwise-resume test (a resumed month is byte-identical to an
+// uninterrupted one) is enforced by a machine, not a review habit.
+//
+// This header is pass 1: the per-file rules (BL001–BL030). Pass 2 — the
+// repo model (include graph, key/exit-code registries) and the cross-file
+// rules BL040–BL043 — lives in model.hpp / audit.hpp.
 //
 // Suppression syntax, checked in-source — for example:
 //
@@ -20,28 +24,37 @@
 #include <array>
 #include <cstddef>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tokens.hpp"
 
 namespace billcap::lint {
 
 /// Rule catalogue. IDs are stable; tests and suppressions key on names.
 enum class Rule {
-  kWallClock,      ///< BL001: wall-clock / ambient PRNG in controller code
-  kUnorderedIter,  ///< BL002: unordered container (iteration order leaks)
-  kFloatFormat,    ///< BL003: %f/%e/%g without an explicit precision
-  kExitCode,       ///< BL010: raw exit-code integer literal
-  kJournalKey,     ///< BL011: raw string key at a Journal call site
-  kRawWrite,       ///< BL012: ofstream/fopen bypassing the atomic journal
-  kCatchAll,       ///< BL020: catch (...) that swallows silently
-  kTodoIssue,      ///< BL021: to-do marker without an issue reference
-  kUnboundedQueue, ///< BL022: container growth in a loop with no bound
-  kSolveAlloc,     ///< BL023: heap allocation in the lp solver's loops
-  kParallelReduce, ///< BL024: unordered parallel reduction (mutex/atomic acc)
-  kFixedPoint,     ///< BL025: convergence while-loop with no visible bound
-  kBareAllow,      ///< BL030: allow annotation without a rationale
+  kWallClock,       ///< BL001: wall-clock / ambient PRNG in controller code
+  kUnorderedIter,   ///< BL002: unordered container (iteration order leaks)
+  kFloatFormat,     ///< BL003: %f/%e/%g without an explicit precision
+  kExitCode,        ///< BL010: raw exit-code integer literal
+  kJournalKey,      ///< BL011: raw string key at a Journal call site
+  kRawWrite,        ///< BL012: ofstream/fopen bypassing the atomic journal
+  kCatchAll,        ///< BL020: catch (...) that swallows silently
+  kTodoIssue,       ///< BL021: to-do marker without an issue reference
+  kUnboundedQueue,  ///< BL022: container growth in a loop with no bound
+  kSolveAlloc,      ///< BL023: heap allocation in the lp solver's loops
+  kParallelReduce,  ///< BL024: unordered parallel reduction (mutex/atomic acc)
+  kFixedPoint,      ///< BL025: convergence while-loop with no visible bound
+  kBareAllow,       ///< BL030: allow annotation without a rationale
+  kLayering,        ///< BL040: include edge that violates the layer DAG
+  kJournalRegistry, ///< BL041: journal key not in checkpoint_keys.hpp
+  kExitRegistry,    ///< BL042: exit literal outside the exit-code registry
+  kUnseededRng,     ///< BL043: ambient-seeded RNG outside test code
 };
+
+constexpr std::size_t kRuleCount = 17;
 
 struct RuleInfo {
   Rule rule;
@@ -51,7 +64,7 @@ struct RuleInfo {
 };
 
 /// All rules, in report order.
-const std::array<RuleInfo, 13>& rule_table();
+const std::array<RuleInfo, kRuleCount>& rule_table();
 
 /// Info for a rule; never fails (the enum is the index).
 const RuleInfo& info(Rule rule);
@@ -64,20 +77,46 @@ struct Finding {
   std::size_t line = 0;  ///< 1-based
   Rule rule = Rule::kWallClock;
   std::string message;
+  std::string edge;  ///< BL040 only: the offending layer edge, "core -> serve"
 };
 
 /// "file:line: [BL001 wall-clock] message" — clickable in editors/CI logs.
 std::string format_finding(const Finding& finding);
 
-/// Scans one translation unit's text. `path` is used for reporting and for
-/// nothing else — every applicability decision is content-based, so
-/// fixture files behave exactly like real sources.
+/// In-source suppressions for one file, collected from its comments.
+struct Suppressions {
+  /// line (0-based) -> rules allowed on that line.
+  std::vector<std::set<Rule>> allowed;
+  std::vector<Finding> bare_allow_findings;
+
+  bool allows(std::size_t line0, Rule rule) const {
+    return line0 < allowed.size() && allowed[line0].count(rule) != 0;
+  }
+};
+
+/// Scans the comment channel of a lexed file for allow() annotations.
+/// An annotation sanctions its own line and the line directly below it.
+Suppressions collect_suppressions(std::string_view path,
+                                  const SourceFile& source);
+
+/// Runs the per-file rules over an already-lexed translation unit. `path`
+/// is used for reporting and for nothing else — every applicability
+/// decision is content-based (includes, token sequences), so fixture files
+/// behave exactly like real sources.
+std::vector<Finding> scan_tokens(std::string_view path,
+                                 const SourceFile& source);
+
+/// Lexes and scans one translation unit's text.
 std::vector<Finding> scan_source(std::string_view path, std::string_view text);
 
 /// Loads and scans a file. Throws std::runtime_error when unreadable.
 std::vector<Finding> scan_file(const std::string& path);
 
-/// True for the extensions billcap-lint understands (.cpp .cc .hpp .h).
+/// Loads and lexes a file without scanning (the audit pass lexes once and
+/// shares the result). Throws std::runtime_error when unreadable.
+SourceFile load_source(const std::string& path);
+
+/// True for the extensions billcap-audit understands (.cpp .cc .hpp .h).
 bool is_scannable(std::string_view path);
 
 /// Recursively collects scannable files under `root` (or `root` itself when

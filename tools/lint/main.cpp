@@ -1,55 +1,91 @@
-// billcap-lint — project-specific static analysis for the bill-capping
-// controller (see lint.hpp for the rule catalogue and rationale).
+// billcap-audit — project-specific static analysis for the bill-capping
+// controller (see lint.hpp for the per-file rules, audit.hpp for the
+// cross-file rules and rationale).
 //
-//   billcap-lint [--summary] [--expect <rule-name>] [--list-rules] PATH...
+//   billcap-audit [--summary] [--expect <rule-name>] [--list-rules]
+//                 [--json <path|->] [--baseline <path>]
+//                 [--write-baseline <path>] PATH...
 //
 // PATH arguments are files or directories (recursed for .cpp/.cc/.hpp/.h).
-// Default mode prints every unsuppressed finding as "file:line: [ID name]
-// message" and fails when any exists. --expect <rule-name> is fixture
-// mode: succeed only when at least one finding fired and every finding is
-// the named rule. --summary appends a per-rule count table.
+// Default mode runs both passes — per-file rules plus the cross-file
+// layering/registry/RNG audit — prints every unsuppressed finding as
+// "file:line: [ID name] message" and fails when any exists.
+//
+//   --expect <rule-name>   fixture mode: succeed only when at least one
+//                          finding fired and every finding is the named rule
+//   --summary              append a per-rule count table
+//   --json <path|->        write the machine-readable report (archived by
+//                          CI next to the BENCH_*.json artifacts)
+//   --baseline <path>      ratchet: findings listed in the baseline warn,
+//                          anything new fails
+//   --write-baseline <path> write the current findings as a baseline
+//
+// Paths are reported exactly as given, and baseline keys are built from
+// them — run the audit from the repo root with relative paths so baselines
+// travel across machines.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "audit.hpp"
 #include "lint.hpp"
 
 namespace {
 
 using namespace billcap::lint;
 
-// The lint tool's own exit protocol (it is a dev tool, not a controller,
+// The audit tool's own exit protocol (it is a dev tool, not a controller,
 // so it does not share core::ExitCode).
 constexpr int kCleanExit = 0;
 constexpr int kFindingsExit = 1;
 constexpr int kUsageExit = 2;
 
 int list_rules() {
-  std::printf("%-7s %-15s %s\n", "id", "name", "rationale");
+  std::printf("%-7s %-20s %s\n", "id", "name", "rationale");
   for (const RuleInfo& r : rule_table())
-    std::printf("%-7s %-15s %s\n", r.id, r.name, r.rationale);
+    std::printf("%-7s %-20s %s\n", r.id, r.name, r.rationale);
   return kCleanExit;
 }
 
-void print_summary(const std::vector<Finding>& findings,
-                   std::size_t files_scanned) {
-  std::printf("\nbillcap-lint summary (%zu files scanned)\n", files_scanned);
-  std::printf("  %-7s %-15s %s\n", "rule", "name", "findings");
-  const auto counts = summarize(findings);
+void print_summary(const AuditResult& result) {
+  std::printf("\nbillcap-audit summary (%zu files scanned)\n",
+              result.files_scanned);
+  std::printf("  %-7s %-20s %s\n", "rule", "name", "findings");
+  const auto counts = summarize(result.findings);
   for (const RuleInfo& r : rule_table())
-    std::printf("  %-7s %-15s %zu\n", r.id, r.name, counts.at(r.id));
-  std::printf("  total unsuppressed findings: %zu\n", findings.size());
+    std::printf("  %-7s %-20s %zu\n", r.id, r.name, counts.at(r.id));
+  std::printf("  total unsuppressed findings: %zu\n",
+              result.findings.size());
 }
 
 int usage(const char* error) {
   std::fprintf(stderr,
-               "billcap-lint: %s\n"
-               "usage: billcap-lint [--summary] [--expect <rule-name>] "
-               "[--list-rules] PATH...\n",
+               "billcap-audit: %s\n"
+               "usage: billcap-audit [--summary] [--expect <rule-name>] "
+               "[--list-rules] [--json <path|->] [--baseline <path>] "
+               "[--write-baseline <path>] PATH...\n",
                error);
   return kUsageExit;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("billcap-audit: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  // billcap-lint: allow(raw-write): dev-tool report output; a torn write is re-run, never resumed from
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("billcap-audit: cannot write " + path);
+  out << text;
 }
 
 }  // namespace
@@ -57,18 +93,39 @@ int usage(const char* error) {
 int main(int argc, char** argv) {
   bool summary = false;
   std::string expect;
+  std::string json_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto flag_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      (void)flag;
+      return argv[++i];
+    };
     if (arg == "--summary") {
       summary = true;
     } else if (arg == "--list-rules") {
       return list_rules();
     } else if (arg == "--expect") {
-      if (i + 1 >= argc) return usage("--expect needs a rule name");
-      expect = argv[++i];
+      const char* value = flag_value("--expect");
+      if (value == nullptr) return usage("--expect needs a rule name");
+      expect = value;
       if (find_rule(expect) == nullptr)
         return usage(("unknown rule '" + expect + "'").c_str());
+    } else if (arg == "--json") {
+      const char* value = flag_value("--json");
+      if (value == nullptr) return usage("--json needs a path (or -)");
+      json_path = value;
+    } else if (arg == "--baseline") {
+      const char* value = flag_value("--baseline");
+      if (value == nullptr) return usage("--baseline needs a path");
+      baseline_path = value;
+    } else if (arg == "--write-baseline") {
+      const char* value = flag_value("--write-baseline");
+      if (value == nullptr) return usage("--write-baseline needs a path");
+      write_baseline_path = value;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(("unknown flag '" + arg + "'").c_str());
     } else {
@@ -78,38 +135,56 @@ int main(int argc, char** argv) {
   if (roots.empty()) return usage("no paths given");
 
   try {
-    std::vector<Finding> findings;
-    std::size_t files_scanned = 0;
-    for (const std::string& root : roots) {
-      for (const std::string& file : collect_sources(root)) {
-        ++files_scanned;
-        for (Finding& f : scan_file(file)) findings.push_back(std::move(f));
-      }
+    const AuditResult result = audit_paths(roots);
+
+    std::set<std::string> baseline;
+    if (!baseline_path.empty())
+      baseline = parse_baseline(read_file(baseline_path));
+
+    std::size_t grandfathered = 0;
+    for (const Finding& f : result.findings) {
+      const bool old = baseline.count(baseline_key(f)) != 0;
+      grandfathered += old ? 1 : 0;
+      std::printf("%s%s\n", format_finding(f).c_str(),
+                  old ? " [baseline]" : "");
     }
-    for (const Finding& f : findings)
-      std::printf("%s\n", format_finding(f).c_str());
-    if (summary) print_summary(findings, files_scanned);
+    if (summary) print_summary(result);
+
+    if (!json_path.empty()) {
+      const std::string json = to_json(result, baseline);
+      if (json_path == "-")
+        std::fputs(json.c_str(), stdout);
+      else
+        write_file(json_path, json);
+    }
+    if (!write_baseline_path.empty())
+      write_file(write_baseline_path, serialize_baseline(result));
 
     if (!expect.empty()) {
       // Fixture mode: the file must trigger its intended rule and nothing
       // else, so golden fixtures pin each rule exactly.
       const RuleInfo* want = find_rule(expect);
-      if (findings.empty()) {
-        std::fprintf(stderr, "billcap-lint: expected at least one %s (%s)\n",
+      if (result.findings.empty()) {
+        std::fprintf(stderr, "billcap-audit: expected at least one %s (%s)\n",
                      want->id, want->name);
         return kFindingsExit;
       }
-      for (const Finding& f : findings)
+      for (const Finding& f : result.findings)
         if (f.rule != want->rule) {
-          std::fprintf(stderr, "billcap-lint: expected only %s, got %s\n",
+          std::fprintf(stderr, "billcap-audit: expected only %s, got %s\n",
                        want->id, info(f.rule).id);
           return kFindingsExit;
         }
       return kCleanExit;
     }
-    return findings.empty() ? kCleanExit : kFindingsExit;
+    const std::size_t fresh = result.findings.size() - grandfathered;
+    if (grandfathered > 0)
+      std::printf("billcap-audit: %zu grandfathered finding(s) tolerated by "
+                  "the baseline\n",
+                  grandfathered);
+    return fresh == 0 ? kCleanExit : kFindingsExit;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "billcap-lint: %s\n", e.what());
+    std::fprintf(stderr, "billcap-audit: %s\n", e.what());
     return kUsageExit;
   }
 }

@@ -1,0 +1,170 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace billcap::lint {
+
+namespace {
+
+/// The DESIGN layer DAG (DESIGN.md §9): each layer lists every layer it
+/// may depend on. The lists are the transitive closure, spelled out so a
+/// reviewer can diff an architecture decision in one place.
+struct LayerRule {
+  const char* name;
+  std::vector<std::string> deps;
+};
+
+const std::vector<LayerRule>& layer_rules() {
+  static const std::vector<LayerRule> kDag = {
+      {"util", {}},
+      {"lp", {"util"}},
+      {"queueing", {"util"}},
+      {"market", {"lp", "util"}},
+      {"datacenter", {"queueing", "util"}},
+      {"workload", {"util"}},
+      {"core",
+       {"datacenter", "lp", "market", "queueing", "util", "workload"}},
+      {"serve",
+       {"core", "datacenter", "lp", "market", "queueing", "util",
+        "workload"}},
+  };
+  return kDag;
+}
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/' || path[i] == '\\') {
+      if (i > start) parts.emplace_back(path.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool is_src_layer(std::string_view name) {
+  for (const LayerRule& r : layer_rules())
+    if (name == r.name) return true;
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& src_layers() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const LayerRule& r : layer_rules()) names.push_back(r.name);
+    return names;
+  }();
+  return kNames;
+}
+
+const std::vector<std::string>* allowed_dependencies(std::string_view from) {
+  for (const LayerRule& r : layer_rules())
+    if (from == r.name) return &r.deps;
+  return nullptr;
+}
+
+std::string layer_of_path(std::string_view path) {
+  const std::vector<std::string> parts = split_path(path);
+  // The *last* "src" component wins so fixture trees
+  // (tests/lint/fixtures/<case>/src/<layer>/x.cpp) layer exactly like the
+  // real tree.
+  for (std::size_t i = parts.size(); i-- > 1;) {
+    if (parts[i - 1] == "src" && is_src_layer(parts[i]))
+      return parts[i];
+  }
+  return {};
+}
+
+std::string layer_of_include(std::string_view include_path) {
+  const std::size_t slash = include_path.find('/');
+  if (slash == std::string_view::npos) return {};
+  const std::string head(include_path.substr(0, slash));
+  return is_src_layer(head) ? head : std::string{};
+}
+
+namespace {
+
+bool basename_is_test(std::string_view path) {
+  const std::vector<std::string> parts = split_path(path);
+  if (parts.empty()) return false;
+  return parts.back().find("_test.") != std::string::npos;
+}
+
+bool basename_is(std::string_view path, std::string_view name) {
+  const std::vector<std::string> parts = split_path(path);
+  return !parts.empty() && parts.back() == name;
+}
+
+/// Extracts `kName = "value"` string declarations from the key registry's
+/// token stream. Dynamic-key helpers (feed_rng(i) and friends) declare no
+/// literal at an `=`, so they contribute nothing here.
+std::vector<KeyDecl> parse_key_registry(const SourceFile& sf) {
+  std::vector<KeyDecl> keys;
+  const std::vector<Token>& t = sf.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdentifier && t[i].text.size() > 1 &&
+        t[i].text[0] == 'k' && t[i + 1].kind == TokKind::kPunct &&
+        t[i + 1].text == "=" && t[i + 2].kind == TokKind::kString)
+      keys.push_back({t[i].text, t[i + 2].text, t[i].line});
+  }
+  return keys;
+}
+
+/// Extracts `kName = value` integer enumerators from the exit-code
+/// registry's token stream.
+std::vector<ExitDecl> parse_exit_registry(const SourceFile& sf) {
+  std::vector<ExitDecl> codes;
+  const std::vector<Token>& t = sf.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdentifier && t[i].text.size() > 1 &&
+        t[i].text[0] == 'k' && t[i + 1].kind == TokKind::kPunct &&
+        t[i + 1].text == "=" && t[i + 2].kind == TokKind::kNumber) {
+      int value = 0;
+      bool numeric = true;
+      for (const char c : t[i + 2].text) {
+        if (c < '0' || c > '9') {
+          numeric = false;  // hex/float enumerators are not exit codes
+          break;
+        }
+        value = value * 10 + (c - '0');
+        if (value > 255) break;
+      }
+      if (numeric && value <= 255)
+        codes.push_back({t[i].text, value, t[i].line});
+    }
+  }
+  return codes;
+}
+
+}  // namespace
+
+RepoModel build_model(const std::vector<std::string>& files) {
+  RepoModel model;
+  model.files.reserve(files.size());
+  for (const std::string& path : files) {
+    FileModel fm;
+    fm.path = path;
+    fm.layer = layer_of_path(path);
+    fm.test_file = basename_is_test(path);
+    fm.source = load_source(path);
+    fm.suppress = collect_suppressions(path, fm.source);
+    model.files.push_back(std::move(fm));
+  }
+  for (std::size_t i = 0; i < model.files.size(); ++i) {
+    const FileModel& fm = model.files[i];
+    if (basename_is(fm.path, "checkpoint_keys.hpp")) {
+      model.keys_file = static_cast<std::ptrdiff_t>(i);
+      model.journal_keys = parse_key_registry(fm.source);
+    } else if (basename_is(fm.path, "exit_codes.hpp")) {
+      model.exits_file = static_cast<std::ptrdiff_t>(i);
+      model.exit_codes = parse_exit_registry(fm.source);
+    }
+  }
+  return model;
+}
+
+}  // namespace billcap::lint

@@ -1,0 +1,77 @@
+#pragma once
+
+// billcap-audit pass 2, part 1: the repo model. Where pass 1 (lint.hpp)
+// sees one translation unit at a time, the model sees the project: every
+// file lexed once, its DESIGN-layer derived from its path, its include
+// edges extracted, and the two protocol registries parsed —
+// src/core/checkpoint_keys.hpp (journal keys) and src/core/exit_codes.hpp
+// (process exit codes). The cross-file rules in audit.hpp run over this.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+#include "tokens.hpp"
+
+namespace billcap::lint {
+
+/// One source file, lexed once and annotated with everything the
+/// cross-file rules need.
+struct FileModel {
+  std::string path;     ///< as given (reporting + baseline keys)
+  std::string layer;    ///< src layer ("util", "core", …) or "" when the
+                        ///< file is unconstrained (tools/bench/examples/
+                        ///< tests sit above the src DAG)
+  bool test_file = false;  ///< basename matches the *_test.* convention
+  SourceFile source;
+  Suppressions suppress;
+};
+
+/// One `kName = "value"` declaration in the checkpoint-key registry.
+struct KeyDecl {
+  std::string name;
+  std::string value;
+  std::size_t line = 0;  ///< 0-based
+};
+
+/// One `kName = value` enumerator in the exit-code registry.
+struct ExitDecl {
+  std::string name;
+  int value = 0;
+  std::size_t line = 0;  ///< 0-based
+};
+
+struct RepoModel {
+  std::vector<FileModel> files;
+
+  /// Index into `files` of the registry translation units, or -1 when the
+  /// scanned roots do not contain them (registry rules then self-skip —
+  /// fixture trees without a registry behave like pre-registry code).
+  std::ptrdiff_t keys_file = -1;
+  std::vector<KeyDecl> journal_keys;
+  std::ptrdiff_t exits_file = -1;
+  std::vector<ExitDecl> exit_codes;
+};
+
+/// The DESIGN-layer of a file, derived from the path component following
+/// the *last* "src" component ("" when the file is not under a src layer).
+std::string layer_of_path(std::string_view path);
+
+/// The DESIGN-layer an include directive points at: the first component of
+/// the include path when it names a src layer, else "".
+std::string layer_of_include(std::string_view include_path);
+
+/// Layers `from` may include, besides itself. Returns nullptr for an
+/// unknown/unconstrained layer (allowed to include anything).
+const std::vector<std::string>* allowed_dependencies(std::string_view from);
+
+/// All src layer names, bottom-up.
+const std::vector<std::string>& src_layers();
+
+/// Lexes every file and parses the registries. Paths that fail to load
+/// throw std::runtime_error (same contract as scan_file).
+RepoModel build_model(const std::vector<std::string>& files);
+
+}  // namespace billcap::lint

@@ -1,0 +1,271 @@
+#include "tokens.hpp"
+
+#include <cctype>
+
+namespace billcap::lint {
+
+namespace {
+
+bool is_word(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Recognizes `#include <path>` / `#include "path"` on the raw line the
+/// directive starts on. Runs on the code channel, so a commented-out
+/// include or one quoted inside a string never becomes an edge.
+void scan_include(const std::string& code, std::string_view strings,
+                  std::size_t line, std::vector<Include>& out) {
+  std::size_t i = 0;
+  while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) ++i;
+  if (i >= code.size() || code[i] != '#') return;
+  ++i;
+  while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) ++i;
+  constexpr std::string_view kInclude = "include";
+  if (code.compare(i, kInclude.size(), kInclude) != 0) return;
+  i += kInclude.size();
+  while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) ++i;
+  if (i >= code.size()) return;
+  if (code[i] == '<') {
+    const std::size_t close = code.find('>', i + 1);
+    if (close != std::string::npos)
+      out.push_back({code.substr(i + 1, close - i - 1), true, line});
+  } else if (code[i] == '"') {
+    // The quoted path's *contents* were routed to the strings channel by
+    // the lexer; on an include line the only string is the path.
+    out.push_back({std::string(strings), false, line});
+  }
+}
+
+}  // namespace
+
+bool SourceFile::has_code_sequence(
+    std::initializer_list<std::string_view> words) const {
+  if (words.size() == 0) return true;
+  for (std::size_t i = 0; i + words.size() <= tokens.size(); ++i) {
+    std::size_t j = i;
+    bool all = true;
+    for (const std::string_view w : words) {
+      if (j >= tokens.size() || tokens[j].text != w) {
+        all = false;
+        break;
+      }
+      ++j;
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool SourceFile::includes_path(std::string_view path) const {
+  for (const Include& inc : includes)
+    if (inc.path == path) return true;
+  return false;
+}
+
+bool SourceFile::has_identifier(std::string_view ident) const {
+  for (const Token& t : tokens)
+    if (t.kind == TokKind::kIdentifier && t.text == ident) return true;
+  return false;
+}
+
+SourceFile tokenize(std::string_view text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  SourceFile out;
+  LineInfo current;
+  State state = State::kCode;
+  std::string raw_end;     // ")delim\"" terminator of an active raw string
+  std::size_t line = 0;
+  Token pending;           // string/char literal being accumulated
+  bool multi_punct = false;  // "::" is the one multi-char punct we fuse
+
+  auto flush_line = [&] {
+    scan_include(current.code, current.strings, line, out.includes);
+    out.lines.push_back(std::move(current));
+    current = LineInfo{};
+    ++line;
+  };
+
+  auto push_code = [&](char c) {
+    const std::size_t col = current.code.size();
+    current.code.push_back(c);
+    if (is_word(c)) {
+      Token* last = out.tokens.empty() ? nullptr : &out.tokens.back();
+      const bool continues =
+          last != nullptr && last->line == line &&
+          (last->kind == TokKind::kIdentifier ||
+           last->kind == TokKind::kNumber) &&
+          last->col + last->text.size() == col;
+      if (continues) {
+        out.tokens.back().text.push_back(c);
+        // "123abc" stays a number token: rules only ever match identifier
+        // names or whole numbers, so the loose lexing is harmless.
+      } else {
+        out.tokens.push_back({is_digit(c) ? TokKind::kNumber
+                                          : TokKind::kIdentifier,
+                              std::string(1, c), line, col});
+      }
+      multi_punct = false;
+    } else if (c == ':' && multi_punct && !out.tokens.empty() &&
+               out.tokens.back().text == ":" && out.tokens.back().line == line &&
+               out.tokens.back().col + 1 == col) {
+      out.tokens.back().text = "::";
+      multi_punct = false;
+    } else if (c != ' ' && c != '\t') {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line, col});
+      multi_punct = c == ':';
+    } else {
+      multi_punct = false;
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      if (state == State::kString || state == State::kChar) {
+        // Unterminated sane literal: close it at the newline.
+        out.tokens.push_back(std::move(pending));
+        pending = Token{};
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          const bool raw = !current.code.empty() &&
+                           current.code.back() == 'R' &&
+                           (current.code.size() < 2 ||
+                            !is_word(current.code[current.code.size() - 2]));
+          pending = {TokKind::kString, "", line, current.code.size()};
+          current.code.push_back('"');
+          if (!current.strings.empty()) current.strings.push_back(' ');
+          if (raw) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '\n')
+              delim.push_back(text[j++]);
+            raw_end = ")" + delim + "\"";
+            i = j;  // consume up to and including '('
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are part of a number, not a char
+          // literal opener.
+          if (!out.tokens.empty() &&
+              out.tokens.back().kind == TokKind::kNumber &&
+              out.tokens.back().line == line &&
+              out.tokens.back().col + out.tokens.back().text.size() ==
+                  current.code.size() &&
+              i + 1 < text.size() && is_digit(text[i + 1])) {
+            // Keep the separator in the token so "1'000'000" stays one
+            // number and the column arithmetic above keeps extending it.
+            out.tokens.back().text.push_back('\'');
+            current.code.push_back('\'');
+            break;
+          }
+          pending = {TokKind::kCharLit, "", line, current.code.size()};
+          current.code.push_back('\'');
+          state = State::kChar;
+        } else {
+          push_code(c);
+        }
+        break;
+      }
+      case State::kLineComment:
+        current.comment.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < text.size()) {
+          current.strings.push_back(text[++i]);
+          pending.text.push_back(text[i]);
+        } else if (c == '"') {
+          current.code.push_back('"');
+          out.tokens.push_back(std::move(pending));
+          pending = Token{};
+          state = State::kCode;
+        } else {
+          current.strings.push_back(c);
+          pending.text.push_back(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size()) {
+          pending.text.push_back(text[++i]);
+        } else if (c == '\'') {
+          current.code.push_back('\'');
+          out.tokens.push_back(std::move(pending));
+          pending = Token{};
+          state = State::kCode;
+        } else {
+          pending.text.push_back(c);
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && text.compare(i, raw_end.size(), raw_end) == 0) {
+          i += raw_end.size() - 1;
+          current.code.push_back('"');
+          out.tokens.push_back(std::move(pending));
+          pending = Token{};
+          state = State::kCode;
+        } else {
+          current.strings.push_back(c);
+          pending.text.push_back(c);
+        }
+        break;
+    }
+  }
+  if (state == State::kString || state == State::kChar ||
+      state == State::kRawString)
+    out.tokens.push_back(std::move(pending));
+  flush_line();
+  return out;
+}
+
+std::size_t find_punct(const std::vector<Token>& tokens, std::size_t from,
+                       std::string_view punct) {
+  for (std::size_t i = from; i < tokens.size(); ++i)
+    if (tokens[i].kind == TokKind::kPunct && tokens[i].text == punct) return i;
+  return tokens.size();
+}
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != TokKind::kPunct)
+    return tokens.size();
+  const std::string& o = tokens[open].text;
+  const char close = o == "(" ? ')' : o == "{" ? '}' : o == "[" ? ']' : '\0';
+  if (close == '\0') return tokens.size();
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct || tokens[i].text.size() != 1)
+      continue;
+    if (tokens[i].text[0] == o[0]) ++depth;
+    if (tokens[i].text[0] == close && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+}  // namespace billcap::lint

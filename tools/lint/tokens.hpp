@@ -1,0 +1,93 @@
+#pragma once
+
+// billcap-audit's lexing layer. One pass over a translation unit's text
+// produces everything both analysis passes consume:
+//
+//  * a token stream over the *code channel* — identifiers, numbers,
+//    punctuators and string/char literals with 0-based line/column
+//    positions. String and comment *contents* never become code tokens,
+//    so a "while(true)" inside a log message cannot trip a loop rule and
+//    prose in a comment cannot gate a file into a rule's applicability
+//    set (the failure class the old raw-text `find()` gates had).
+//  * per-line channel views (code / string contents / comment text) for
+//    the line-shaped rules and the suppression scanner.
+//  * the file's `#include` directives, which feed the repo include graph
+//    (BL040 layering) and the content gates (a file is a journal user
+//    because it *includes* util/journal.hpp, not because a comment
+//    mentions it).
+//
+// It is still a lexer, not a parser: no preprocessing, no templates, no
+// semantics. Every rule built on it is shaped so the cheap direction is a
+// missed finding, never a false positive.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace billcap::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< a numeric literal (integer or floating, lexed loosely)
+  kString,      ///< one string literal; `text` holds the *contents*
+  kCharLit,     ///< one character literal; `text` holds the contents
+  kPunct,       ///< a single punctuator character
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 0-based physical line of the token's start
+  std::size_t col = 0;   ///< 0-based column within the *code channel* line
+};
+
+/// One physical source line, split into the three channels line-shaped
+/// rules care about. String-literal *contents* are moved to `strings`
+/// (delimiters stay in `code` so call shapes like `.set("` remain
+/// visible); comment text is moved to `comment`.
+struct LineInfo {
+  std::string code;
+  std::string strings;
+  std::string comment;
+};
+
+/// One `#include` directive.
+struct Include {
+  std::string path;    ///< the text between the delimiters
+  bool angled = false; ///< <...> (system) vs "..." (project)
+  std::size_t line = 0;  ///< 0-based
+};
+
+/// A fully lexed translation unit.
+struct SourceFile {
+  std::vector<LineInfo> lines;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+
+  /// True when the code channel contains the exact identifier sequence
+  /// `words` (punctuators between them must match too when a word is a
+  /// punctuator string like "::" or "("). Used by content gates.
+  bool has_code_sequence(std::initializer_list<std::string_view> words) const;
+
+  /// True when any include's path equals `path` exactly.
+  bool includes_path(std::string_view path) const;
+
+  /// True when some identifier token equals `ident`.
+  bool has_identifier(std::string_view ident) const;
+};
+
+/// Lexes `text`. Never fails: malformed input degrades to best-effort
+/// tokens, matching the scanner's missed-finding-over-false-positive bias.
+SourceFile tokenize(std::string_view text);
+
+/// Index of the first token at or after `tokens[from]` whose kind is
+/// kPunct and text is `punct`, or tokens.size() when absent.
+std::size_t find_punct(const std::vector<Token>& tokens, std::size_t from,
+                       std::string_view punct);
+
+/// Given `tokens[open]` == "(" (or "{"), returns the index of its matching
+/// close punctuator, honouring nesting, or tokens.size() when unmatched.
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace billcap::lint
